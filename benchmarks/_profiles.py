@@ -1,0 +1,73 @@
+"""Benchmark profiles.
+
+Two profiles control how much simulation each figure bench runs:
+
+* ``quick`` (default) — laptop-friendly: fewer objects, shorter runs,
+  fewer query repetitions. Reproduces the *shape* of every figure in a
+  few minutes total.
+* ``paper`` — the paper's Table 2 workload (200 objects, long runs, many
+  query repetitions). Select with ``REPRO_BENCH_PROFILE=paper``.
+
+Both profiles use the same floor plan, reader deployment, and algorithms;
+only the sampling effort differs.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.config import DEFAULT_CONFIG, SimulationConfig
+
+QUICK = DEFAULT_CONFIG.with_overrides(
+    num_objects=40,
+    duration_seconds=120,
+    warmup_seconds=40,
+    num_query_timestamps=3,
+    num_range_queries=8,
+    num_knn_queries=5,
+)
+
+PAPER = DEFAULT_CONFIG.with_overrides(
+    duration_seconds=300,
+    warmup_seconds=60,
+    num_query_timestamps=10,
+    num_range_queries=20,
+    num_knn_queries=10,
+)
+
+_SWEEPS = {
+    "quick": {
+        "window_ratios": (0.01, 0.02, 0.03, 0.04, 0.05),
+        "ks": (2, 3, 5, 7, 9),
+        "particles": (2, 8, 32, 64, 256),
+        "objects": (40, 80, 160),
+        "ranges": (0.5, 1.0, 1.5, 2.0, 2.5),
+    },
+    "paper": {
+        "window_ratios": (0.01, 0.02, 0.03, 0.04, 0.05),
+        "ks": (2, 3, 4, 5, 6, 7, 8, 9),
+        "particles": (2, 4, 8, 16, 32, 64, 128, 256, 512),
+        "objects": (200, 400, 600, 800, 1000),
+        "ranges": (0.5, 1.0, 1.5, 2.0, 2.5),
+    },
+}
+
+
+def profile_name() -> str:
+    """The active profile name (``REPRO_BENCH_PROFILE``, default quick)."""
+    name = os.environ.get("REPRO_BENCH_PROFILE", "quick")
+    if name not in _SWEEPS:
+        raise ValueError(
+            f"unknown REPRO_BENCH_PROFILE={name!r}; use 'quick' or 'paper'"
+        )
+    return name
+
+
+def profile_config() -> SimulationConfig:
+    """The active profile's base configuration."""
+    return PAPER if profile_name() == "paper" else QUICK
+
+
+def sweep(key: str):
+    """A figure's sweep values under the active profile."""
+    return _SWEEPS[profile_name()][key]

@@ -1,0 +1,76 @@
+"""Ablation — cache management module (paper Section 4.5).
+
+The cache is optional for functionality but "will improve the query
+evaluation performance if queries are frequent". This ablation times a
+sequence of snapshot evaluations over consecutive timestamps with the
+cache enabled and disabled, and reports the speedup plus hit statistics.
+"""
+
+import time
+
+from _profiles import profile_config, profile_name
+
+from repro.sim import Simulation
+from repro.sim.experiments import format_rows
+
+
+def _timed_snapshots(config, use_cache, rounds=10, gap_seconds=2):
+    """Snapshot all objects every ``gap_seconds`` — the paper's "frequent
+    queries" scenario where cached particle states pay off."""
+    simulation = Simulation(config, use_cache=use_cache, build_symbolic=False)
+    elapsed = 0.0
+    for i in range(rounds):
+        timestamp = config.warmup_seconds + i * gap_seconds
+        simulation.run_until(timestamp)
+        start = time.perf_counter()
+        simulation.pf_engine.locations_snapshot(timestamp, rng=simulation.pf_rng)
+        elapsed += time.perf_counter() - start
+    stats = simulation.pf_engine.cache.stats if use_cache else None
+    return elapsed, stats
+
+
+def test_ablation_cache(benchmark, capsys):
+    config = profile_config()
+
+    def run():
+        with_cache, stats = _timed_snapshots(config, use_cache=True)
+        without_cache, _ = _timed_snapshots(config, use_cache=False)
+        return with_cache, without_cache, stats
+
+    with_cache, without_cache, stats = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    rows = [
+        {
+            "cache": "enabled",
+            "filter_seconds": round(with_cache, 3),
+            "hit_rate": round(stats.hit_rate, 3),
+            "hits": stats.hits,
+            "misses": stats.misses,
+        },
+        {
+            "cache": "disabled",
+            "filter_seconds": round(without_cache, 3),
+            "hit_rate": None,
+            "hits": None,
+            "misses": None,
+        },
+    ]
+    with capsys.disabled():
+        print()
+        print(
+            format_rows(
+                rows,
+                title=(
+                    f"Ablation (profile={profile_name()}): particle-state "
+                    "cache effect on repeated snapshot evaluation"
+                ),
+            )
+        )
+        speedup = without_cache / max(with_cache, 1e-9)
+        print(f"speedup with cache: {speedup:.2f}x")
+
+    assert stats.hits > 0
+    # Caching must not be slower than recomputing from scratch.
+    assert with_cache <= without_cache * 1.1

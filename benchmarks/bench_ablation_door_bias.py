@@ -1,0 +1,47 @@
+"""Ablation — particle door-entry bias (DESIGN.md motion-model choice).
+
+The paper's motion model picks "a random direction at intersections"; at
+a door node that means a ~50 % chance of turning into the room. DESIGN.md
+exposes this as ``door_entry_probability``. This ablation sweeps the bias
+and shows its effect on range-query KL and top-k success, backing the 0.5
+default (the paper's literal uniform choice).
+"""
+
+from _profiles import profile_config, profile_name
+
+from repro.sim import evaluate_accuracy
+from repro.sim.experiments import format_rows
+
+BIASES = (0.1, 0.3, 0.5, 0.7)
+
+
+def _run(config):
+    rows = []
+    for bias in BIASES:
+        report = evaluate_accuracy(
+            config.with_overrides(door_entry_probability=bias),
+            measure_knn=False,
+        )
+        rows.append(report.as_row(door_entry_probability=bias))
+    return rows
+
+
+def test_ablation_door_bias(benchmark, capsys):
+    config = profile_config()
+    rows = benchmark.pedantic(_run, args=(config,), rounds=1, iterations=1)
+
+    with capsys.disabled():
+        print()
+        print(
+            format_rows(
+                rows,
+                title=(
+                    f"Ablation (profile={profile_name()}): particle "
+                    "door-entry probability"
+                ),
+            )
+        )
+
+    assert len(rows) == len(BIASES)
+    for row in rows:
+        assert row["range_kl_pf"] is not None

@@ -1,0 +1,49 @@
+"""Ablation — room dwell time in the true traces (workload sensitivity).
+
+The paper's trace generator never pauses: objects pick a new destination
+the moment they arrive. Real office occupants *dwell* in rooms, which is
+the hardest case for both inference methods (long silence, ambiguous
+room choice). This ablation sweeps the dwell window and shows how both
+methods degrade — and that the particle filter's advantage persists.
+"""
+
+from _profiles import profile_config, profile_name
+
+from repro.sim import evaluate_accuracy
+from repro.sim.experiments import format_rows
+
+DWELL_WINDOWS = ((0.0, 0.0), (2.0, 8.0), (5.0, 15.0), (10.0, 30.0))
+
+
+def _run(config):
+    rows = []
+    for lo, hi in DWELL_WINDOWS:
+        report = evaluate_accuracy(
+            config.with_overrides(min_dwell_seconds=lo, max_dwell_seconds=hi),
+            measure_topk=False,
+        )
+        rows.append(report.as_row(dwell=f"{lo:g}-{hi:g}s"))
+    return rows
+
+
+def test_ablation_dwell(benchmark, capsys):
+    config = profile_config()
+    rows = benchmark.pedantic(_run, args=(config,), rounds=1, iterations=1)
+
+    with capsys.disabled():
+        print()
+        print(
+            format_rows(
+                rows,
+                title=(
+                    f"Ablation (profile={profile_name()}): room dwell time in "
+                    "the true traces (paper workload = 0s)"
+                ),
+            )
+        )
+
+    assert len(rows) == len(DWELL_WINDOWS)
+    # The particle filter keeps its edge across the whole sweep on average.
+    mean_pf = sum(r["range_kl_pf"] for r in rows) / len(rows)
+    mean_sm = sum(r["range_kl_sm"] for r in rows) / len(rows)
+    assert mean_pf < mean_sm

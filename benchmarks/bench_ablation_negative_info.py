@@ -1,0 +1,45 @@
+"""Ablation — negative information on silent seconds (extension).
+
+The paper's Algorithm 2 skips reweighting when a second has no reading.
+This reproduction optionally treats silence as evidence: particles inside
+some reader's range while nothing was read are penalized
+(``use_negative_information``). The ablation compares accuracy with the
+extension off (the paper's algorithm, the default) and on.
+"""
+
+from _profiles import profile_config, profile_name
+
+from repro.sim import evaluate_accuracy
+from repro.sim.experiments import format_rows
+
+
+def _run(config):
+    rows = []
+    for enabled in (False, True):
+        report = evaluate_accuracy(
+            config.with_overrides(use_negative_information=enabled),
+            measure_knn=False,
+        )
+        rows.append(report.as_row(negative_information=enabled))
+    return rows
+
+
+def test_ablation_negative_info(benchmark, capsys):
+    config = profile_config()
+    rows = benchmark.pedantic(_run, args=(config,), rounds=1, iterations=1)
+
+    with capsys.disabled():
+        print()
+        print(
+            format_rows(
+                rows,
+                title=(
+                    f"Ablation (profile={profile_name()}): negative "
+                    "information on silent seconds (paper default = off)"
+                ),
+            )
+        )
+
+    assert len(rows) == 2
+    for row in rows:
+        assert row["range_kl_pf"] is not None

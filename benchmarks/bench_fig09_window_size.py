@@ -1,0 +1,39 @@
+"""Figure 9 — effects of query window size on range-query accuracy.
+
+Regenerates the paper's Figure 9 series: range-query KL divergence of the
+particle filter (PF) and symbolic model (SM) methods, for query windows of
+1 % to 5 % of the floor area. Expected shape (paper Section 5.2): both
+curves flat in window size, PF clearly below SM.
+"""
+
+from _profiles import profile_config, profile_name, sweep
+
+from repro.sim.experiments import format_rows, run_figure9
+
+
+def test_fig09_window_size(benchmark, capsys):
+    config = profile_config()
+    ratios = sweep("window_ratios")
+
+    rows = benchmark.pedantic(
+        run_figure9, args=(config,), kwargs={"window_ratios": ratios},
+        rounds=1, iterations=1,
+    )
+
+    with capsys.disabled():
+        print()
+        print(
+            format_rows(
+                rows,
+                title=(
+                    f"Figure 9 (profile={profile_name()}): range-query KL "
+                    "divergence vs query window size"
+                ),
+            )
+        )
+
+    assert len(rows) == len(ratios)
+    # Shape: PF below SM on average across the sweep.
+    mean_pf = sum(r["range_kl_pf"] for r in rows) / len(rows)
+    mean_sm = sum(r["range_kl_sm"] for r in rows) / len(rows)
+    assert mean_pf < mean_sm

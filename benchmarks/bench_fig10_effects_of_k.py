@@ -1,0 +1,37 @@
+"""Figure 10 — effects of k on kNN query accuracy.
+
+Regenerates the paper's Figure 10 series: average kNN hit rate of both
+methods for k = 2..9. Expected shape (paper Section 5.3): the PF hit rate
+is high and stable in k and always above the SM hit rate, which grows
+slowly with k.
+"""
+
+from _profiles import profile_config, profile_name, sweep
+
+from repro.sim.experiments import format_rows, run_figure10
+
+
+def test_fig10_effects_of_k(benchmark, capsys):
+    config = profile_config()
+    ks = sweep("ks")
+
+    rows = benchmark.pedantic(
+        run_figure10, args=(config,), kwargs={"ks": ks}, rounds=1, iterations=1
+    )
+
+    with capsys.disabled():
+        print()
+        print(
+            format_rows(
+                rows,
+                title=(
+                    f"Figure 10 (profile={profile_name()}): kNN average hit "
+                    "rate vs k"
+                ),
+            )
+        )
+
+    assert len(rows) == len(ks)
+    mean_pf = sum(r["knn_hit_pf"] for r in rows) / len(rows)
+    mean_sm = sum(r["knn_hit_sm"] for r in rows) / len(rows)
+    assert mean_pf > mean_sm

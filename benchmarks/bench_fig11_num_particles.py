@@ -1,0 +1,45 @@
+"""Figure 11 — impact of the number of particles.
+
+Regenerates all three panels of the paper's Figure 11 for particle counts
+from 2 to 512: (a) range-query KL divergence, (b) kNN hit rate, (c)
+top-1/top-2 success rate. Expected shape (paper Section 5.4): with very
+few particles PF is worse than SM; PF overtakes SM around 8 particles and
+plateaus beyond ~64 (which is why 64 is the paper's default).
+"""
+
+from _profiles import profile_config, profile_name, sweep
+
+from repro.sim.experiments import format_rows, run_figure11
+
+
+def test_fig11_num_particles(benchmark, capsys):
+    config = profile_config()
+    counts = sweep("particles")
+
+    rows = benchmark.pedantic(
+        run_figure11, args=(config,), kwargs={"particle_counts": counts},
+        rounds=1, iterations=1,
+    )
+
+    with capsys.disabled():
+        print()
+        print(
+            format_rows(
+                rows,
+                title=(
+                    f"Figure 11 (profile={profile_name()}): KL / hit rate / "
+                    "top-k success vs number of particles"
+                ),
+            )
+        )
+
+    assert len(rows) == len(counts)
+    by_count = {r["num_particles"]: r for r in rows}
+    large = max(counts)
+    small = min(counts)
+    # Shape: more particles => no worse KL; large counts beat SM.
+    assert by_count[large]["range_kl_pf"] <= by_count[small]["range_kl_pf"]
+    assert by_count[large]["range_kl_pf"] < by_count[large]["range_kl_sm"]
+    # Top-2 dominates top-1 everywhere.
+    for row in rows:
+        assert row["top2_success"] >= row["top1_success"]

@@ -1,0 +1,39 @@
+"""Figure 12 — impact of the number of moving objects (scalability).
+
+Regenerates all three panels of the paper's Figure 12: KL divergence,
+kNN hit rate, and top-k success for growing object populations. Expected
+shape (paper Section 5.5): KL and top-k success stay roughly stable; the
+kNN hit rate of *both* methods degrades as more objects crowd the same
+space; PF stays above SM throughout.
+"""
+
+from _profiles import profile_config, profile_name, sweep
+
+from repro.sim.experiments import format_rows, run_figure12
+
+
+def test_fig12_num_objects(benchmark, capsys):
+    config = profile_config()
+    counts = sweep("objects")
+
+    rows = benchmark.pedantic(
+        run_figure12, args=(config,), kwargs={"object_counts": counts},
+        rounds=1, iterations=1,
+    )
+
+    with capsys.disabled():
+        print()
+        print(
+            format_rows(
+                rows,
+                title=(
+                    f"Figure 12 (profile={profile_name()}): KL / hit rate / "
+                    "top-k success vs number of moving objects"
+                ),
+            )
+        )
+
+    assert len(rows) == len(counts)
+    for row in rows:
+        assert row["range_kl_pf"] < row["range_kl_sm"]
+        assert row["knn_hit_pf"] > row["knn_hit_sm"]

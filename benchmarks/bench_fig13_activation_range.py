@@ -1,0 +1,40 @@
+"""Figure 13 — impact of the reader activation range.
+
+Regenerates all three panels of the paper's Figure 13 for activation
+ranges from 0.5 m to 2.5 m. Expected shape (paper Section 5.6): both
+methods improve as the range grows (uncovered uncertain regions shrink);
+PF retains usable accuracy even at small ranges and dominates SM.
+"""
+
+from _profiles import profile_config, profile_name, sweep
+
+from repro.sim.experiments import format_rows, run_figure13
+
+
+def test_fig13_activation_range(benchmark, capsys):
+    config = profile_config()
+    ranges = sweep("ranges")
+
+    rows = benchmark.pedantic(
+        run_figure13, args=(config,), kwargs={"activation_ranges": ranges},
+        rounds=1, iterations=1,
+    )
+
+    with capsys.disabled():
+        print()
+        print(
+            format_rows(
+                rows,
+                title=(
+                    f"Figure 13 (profile={profile_name()}): KL / hit rate / "
+                    "top-k success vs activation range (m)"
+                ),
+            )
+        )
+
+    assert len(rows) == len(ranges)
+    by_range = {r["activation_range"]: r for r in rows}
+    # Shape: the largest range is more accurate than the smallest, for
+    # both methods; PF beats SM at the default range.
+    assert by_range[2.5]["range_kl_pf"] <= by_range[0.5]["range_kl_pf"]
+    assert by_range[2.0]["range_kl_pf"] < by_range[2.0]["range_kl_sm"]

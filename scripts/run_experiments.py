@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's figures outside pytest.
+
+Runs the Figure 9-13 sweeps and writes one JSON row file per figure plus
+a combined text report. Two scales:
+
+* ``--scale standard`` (default) — Table 2 core parameters (200 objects,
+  64 particles, k=3, 2 m range) with a trimmed sampling effort
+  (180 s simulated, 5 query timestamps); minutes per figure.
+* ``--scale paper`` — the full Section 5 methodology (300 s, 10
+  timestamps, 20/10 queries per timestamp); expect an hour-plus total
+  on one core.
+
+Example::
+
+    python scripts/run_experiments.py --figures fig10 fig13 --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.config import DEFAULT_CONFIG
+from repro.io import save_rows_json
+from repro.sim.experiments import (
+    format_rows,
+    run_figure9,
+    run_figure10,
+    run_figure11,
+    run_figure12,
+    run_figure13,
+)
+
+FIGURES = {
+    "fig9": (run_figure9, "range-query KL vs query window size"),
+    "fig10": (run_figure10, "kNN hit rate vs k"),
+    "fig11": (run_figure11, "metrics vs number of particles"),
+    "fig12": (run_figure12, "metrics vs number of moving objects"),
+    "fig13": (run_figure13, "metrics vs activation range"),
+}
+
+SCALES = {
+    "standard": DEFAULT_CONFIG.with_overrides(
+        duration_seconds=180,
+        warmup_seconds=60,
+        num_query_timestamps=5,
+        num_range_queries=12,
+        num_knn_queries=6,
+    ),
+    "paper": DEFAULT_CONFIG.with_overrides(
+        duration_seconds=300,
+        warmup_seconds=60,
+        num_query_timestamps=10,
+        num_range_queries=20,
+        num_knn_queries=10,
+    ),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--figures", nargs="+", choices=sorted(FIGURES), default=sorted(FIGURES)
+    )
+    parser.add_argument("--scale", choices=sorted(SCALES), default="standard")
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--out", type=Path, default=Path("results"))
+    args = parser.parse_args(argv)
+
+    config = SCALES[args.scale]
+    if args.seed is not None:
+        config = config.with_overrides(seed=args.seed)
+    args.out.mkdir(parents=True, exist_ok=True)
+
+    for name in args.figures:
+        runner, title = FIGURES[name]
+        started = time.time()
+        rows = runner(config)
+        elapsed = time.time() - started
+        print()
+        print(format_rows(rows, title=f"{name} ({args.scale}): {title}"))
+        print(f"[{elapsed:.0f} s]")
+        sys.stdout.flush()
+        save_rows_json(rows, args.out / f"{name}_{args.scale}.json")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

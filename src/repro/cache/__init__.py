@@ -1,0 +1,5 @@
+"""Cache management module (paper Section 4.5)."""
+
+from repro.cache.particle_cache import CachedParticleState, CacheStats, ParticleCacheManager
+
+__all__ = ["CachedParticleState", "CacheStats", "ParticleCacheManager"]

@@ -1,0 +1,106 @@
+"""Cache management module (paper Section 4.5).
+
+Stores each object's particle state after a filter run so that a later
+query over the same object resumes filtering from the cached timestamp
+instead of replaying from scratch.
+
+Invalidation policy (exactly as the paper argues): a cached state is only
+valid while the object has not been detected by a *new* device since it
+was stored — once a new device run begins, the retained reading window
+shifts and the old particles would mix inconsistent information. The
+collector exposes a per-object ``device_generation`` counter; the cache
+compares generations on lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.particles import ParticleSet
+
+
+@dataclass
+class CachedParticleState:
+    """One cache entry: particle state of one object at one second."""
+
+    object_id: str
+    particles: ParticleSet
+    state_second: int
+    device_generation: int
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters (used by the cache ablation benchmark)."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when never used)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ParticleCacheManager:
+    """Per-object particle state cache with generation-based invalidation."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, CachedParticleState] = {}
+        self.stats = CacheStats()
+
+    def lookup(
+        self, object_id: str, device_generation: int
+    ) -> Optional[Tuple[ParticleSet, int]]:
+        """Fetch a resumable state, or None on miss/stale entry.
+
+        Returns ``(particles_copy, state_second)``. Stale entries (device
+        generation changed) are evicted on sight.
+        """
+        entry = self._entries.get(object_id)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if entry.device_generation != device_generation:
+            del self._entries[object_id]
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return entry.particles.copy(), entry.state_second
+
+    def store(
+        self,
+        object_id: str,
+        particles: ParticleSet,
+        state_second: int,
+        device_generation: int,
+    ) -> None:
+        """Insert or replace an object's cached state (copies the particles)."""
+        self._entries[object_id] = CachedParticleState(
+            object_id=object_id,
+            particles=particles.copy(),
+            state_second=state_second,
+            device_generation=device_generation,
+        )
+
+    def evict(self, object_id: str) -> None:
+        """Drop an object's entry (no-op when absent)."""
+        self._entries.pop(object_id, None)
+
+    def clear(self) -> None:
+        """Drop all entries; statistics are preserved."""
+        self._entries.clear()
+
+    def __contains__(self, object_id: str) -> bool:
+        return object_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

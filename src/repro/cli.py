@@ -1,0 +1,203 @@
+"""Command-line interface.
+
+Four subcommands::
+
+    repro simulate    run the simulator; export the floor plan, reader
+                      deployment, and raw reading log
+    repro render      draw a floor plan (and optional deployment) as ASCII
+    repro experiment  regenerate one of the paper's figures (9-13)
+    repro demo        a 60-second end-to-end demo with live queries
+
+Installed as the ``repro`` console script; also runnable as
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config import DEFAULT_CONFIG
+from repro.geometry import Point, Rect
+from repro.sim.experiments import (
+    format_rows,
+    run_figure9,
+    run_figure10,
+    run_figure11,
+    run_figure12,
+    run_figure13,
+)
+
+_FIGURES = {
+    "fig9": run_figure9,
+    "fig10": run_figure10,
+    "fig11": run_figure11,
+    "fig12": run_figure12,
+    "fig13": run_figure13,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for docs and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "RFID + particle filter indoor spatial query evaluation "
+            "(EDBT 2013 reproduction)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="run the simulator and export world + reading log"
+    )
+    simulate.add_argument("--objects", type=int, default=50)
+    simulate.add_argument("--seconds", type=int, default=120)
+    simulate.add_argument("--seed", type=int, default=7)
+    simulate.add_argument("--readings", metavar="CSV", help="raw reading log output")
+    simulate.add_argument("--plan", metavar="JSON", help="floor plan output")
+    simulate.add_argument("--deployment", metavar="JSON", help="deployment output")
+    simulate.add_argument(
+        "--render", action="store_true", help="print the final world state"
+    )
+
+    render = subparsers.add_parser(
+        "render", help="draw a floor plan as ASCII"
+    )
+    render.add_argument(
+        "--plan", metavar="JSON", help="floor plan JSON (default: paper preset)"
+    )
+    render.add_argument(
+        "--deployment", metavar="JSON", help="reader deployment JSON to overlay"
+    )
+    render.add_argument("--columns", type=int, default=96)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate a figure of the paper's evaluation"
+    )
+    experiment.add_argument("figure", choices=sorted(_FIGURES))
+    experiment.add_argument("--objects", type=int, default=None)
+    experiment.add_argument("--seconds", type=int, default=None)
+    experiment.add_argument("--seed", type=int, default=None)
+    experiment.add_argument("--out-csv", metavar="CSV", help="save rows as CSV")
+    experiment.add_argument("--out-json", metavar="JSON", help="save rows as JSON")
+
+    subparsers.add_parser("demo", help="run a quick end-to-end demo")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "simulate": _cmd_simulate,
+        "render": _cmd_render,
+        "experiment": _cmd_experiment,
+        "demo": _cmd_demo,
+    }[args.command]
+    return handler(args)
+
+
+# ----------------------------------------------------------------------
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.io import save_deployment, save_floorplan, write_readings_csv
+    from repro.sim import Simulation
+
+    config = DEFAULT_CONFIG.with_overrides(
+        num_objects=args.objects, seed=args.seed
+    )
+    sim = Simulation(config, build_symbolic=False)
+
+    all_readings = []
+    for _ in range(args.seconds):
+        sim.trace.step()
+        readings = sim.reading_generator.generate(
+            sim.trace.now, sim.trace.tag_positions()
+        )
+        all_readings.extend(readings)
+        sim.pf_engine.ingest_second(sim.trace.now, readings)
+
+    print(
+        f"simulated {args.seconds} s, {args.objects} objects, "
+        f"{len(all_readings)} raw readings"
+    )
+    if args.plan:
+        save_floorplan(sim.plan, args.plan)
+        print(f"floor plan -> {args.plan}")
+    if args.deployment:
+        save_deployment(sim.readers, args.deployment)
+        print(f"deployment -> {args.deployment}")
+    if args.readings:
+        write_readings_csv(all_readings, args.readings)
+        print(f"reading log -> {args.readings}")
+    if args.render:
+        from repro.viz import render_floorplan
+
+        print(render_floorplan(sim.plan, sim.readers, sim.true_positions()))
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from repro.floorplan import paper_office_plan
+    from repro.io import load_deployment, load_floorplan
+    from repro.viz import render_floorplan
+
+    plan = load_floorplan(args.plan) if args.plan else paper_office_plan()
+    readers = load_deployment(args.deployment) if args.deployment else []
+    print(render_floorplan(plan, readers, columns=args.columns))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    config = DEFAULT_CONFIG
+    if args.objects is not None:
+        config = config.with_overrides(num_objects=args.objects)
+    if args.seconds is not None:
+        config = config.with_overrides(duration_seconds=args.seconds)
+    if args.seed is not None:
+        config = config.with_overrides(seed=args.seed)
+
+    rows = _FIGURES[args.figure](config)
+    print(format_rows(rows, title=f"{args.figure} (paper Figure {args.figure[3:]})"))
+
+    if args.out_csv:
+        from repro.io import save_rows_csv
+
+        save_rows_csv(rows, args.out_csv)
+        print(f"rows -> {args.out_csv}")
+    if args.out_json:
+        from repro.io import save_rows_json
+
+        save_rows_json(rows, args.out_json)
+        print(f"rows -> {args.out_json}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    del args
+    from repro.sim import Simulation, true_knn_result, true_range_result
+
+    config = DEFAULT_CONFIG.with_overrides(num_objects=25, seed=3)
+    sim = Simulation(config)
+    print("simulating 90 seconds ...")
+    sim.run_for(90)
+
+    window = Rect(4, 0, 30, 12)
+    result = sim.pf_engine.range_query(window, sim.now, rng=sim.pf_rng)
+    truth = true_range_result(window, sim.true_positions())
+    print(f"\nrange query {window}")
+    print(f"  truth: {sorted(truth)}")
+    print(f"  top answers: {result.top(5)}")
+
+    point = Point(30, 5)
+    knn = sim.pf_engine.knn_query(point, 3, sim.now, rng=sim.pf_rng)
+    knn_truth = true_knn_result(point, sim.true_locations(), sim.graph, 3)
+    print(f"\n3NN at {point}")
+    print(f"  truth: {knn_truth}")
+    print(f"  answers: {knn.ranked()[:5]}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    sys.exit(main())

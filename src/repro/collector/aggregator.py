@@ -1,0 +1,50 @@
+"""Per-second aggregation of raw readings (paper Section 4.1).
+
+Readers sample tens of times per second, far more often than the particle
+filter needs; aggregating to one entry per object per second saves storage
+and suppresses false negatives (an object is recorded for a second as long
+as at least one of its samples in that second succeeded).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, Mapping
+
+from repro.rfid.readings import AggregatedReading, RawReading
+
+
+def aggregate_second(
+    second: int,
+    raw_readings: Iterable[RawReading],
+    tag_to_object: Mapping[str, str],
+) -> Dict[str, AggregatedReading]:
+    """Aggregate one second of raw readings into per-object entries.
+
+    Readings outside ``[second, second + 1)`` are rejected (callers batch
+    by second). When an object was sampled by multiple readers within the
+    same second (possible during hand-off if ranges overlap), the reader
+    with the most samples wins; ties break by reader id for determinism.
+    """
+    samples_per_object: Dict[str, Counter] = defaultdict(Counter)
+    for reading in raw_readings:
+        if not second <= reading.time < second + 1:
+            raise ValueError(
+                f"reading at t={reading.time} does not belong to second {second}"
+            )
+        object_id = tag_to_object.get(reading.tag_id)
+        if object_id is None:
+            # Unknown tag: a foreign tag wandered into the building; the
+            # query system tracks only registered objects.
+            continue
+        samples_per_object[object_id][reading.reader_id] += 1
+
+    aggregated: Dict[str, AggregatedReading] = {}
+    for object_id, counts in samples_per_object.items():
+        best_reader = min(
+            counts.items(), key=lambda item: (-item[1], item[0])
+        )[0]
+        aggregated[object_id] = AggregatedReading(
+            second=second, object_id=object_id, reader_id=best_reader
+        )
+    return aggregated

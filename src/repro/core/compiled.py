@@ -1,0 +1,143 @@
+"""Flat numpy views of the walking graph for fast particle operations.
+
+The :class:`~repro.graph.WalkingGraph` is an object graph convenient for
+construction and queries; the particle filter steps thousands of particles
+per second, so it works on these precompiled arrays instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.graph.anchors import AnchorIndex
+from repro.graph.walking_graph import WalkingGraph
+
+
+class CompiledGraph:
+    """Array-of-structs encoding of a walking graph.
+
+    Edges are indexed by their ``edge_id`` (which the builder assigns
+    densely from 0). Polyline edges are flattened into a global leg table
+    so that 2-D points for ``(edge, offset)`` pairs can be computed fully
+    vectorized.
+    """
+
+    def __init__(self, graph: WalkingGraph):
+        self.graph = graph
+        edges = sorted(graph.edges, key=lambda e: e.edge_id)
+        if [e.edge_id for e in edges] != list(range(len(edges))):
+            raise ValueError("edge ids must be dense, starting at 0")
+
+        nodes = graph.nodes
+        self.node_ids: List[str] = [n.node_id for n in nodes]
+        self.node_index: Dict[str, int] = {
+            nid: i for i, nid in enumerate(self.node_ids)
+        }
+        self.node_is_room = np.array([n.is_room for n in nodes], dtype=bool)
+        self.node_x = np.array([n.point.x for n in nodes])
+        self.node_y = np.array([n.point.y for n in nodes])
+
+        self.edge_length = np.array([e.length for e in edges])
+        self.edge_is_door = np.array(
+            [e.kind.value == "door" for e in edges], dtype=bool
+        )
+        self.edge_node_a = np.array(
+            [self.node_index[e.node_a] for e in edges], dtype=np.int64
+        )
+        self.edge_node_b = np.array(
+            [self.node_index[e.node_b] for e in edges], dtype=np.int64
+        )
+
+        # Adjacency: for each node, the incident edge ids.
+        adjacency: List[List[int]] = [[] for _ in nodes]
+        for e in edges:
+            adjacency[self.node_index[e.node_a]].append(e.edge_id)
+            adjacency[self.node_index[e.node_b]].append(e.edge_id)
+        self.adjacency: List[np.ndarray] = [
+            np.array(eids, dtype=np.int64) for eids in adjacency
+        ]
+
+        # Flatten polyline legs. leg_ptr[e] .. leg_ptr[e+1] are edge e's legs.
+        leg_ptr = [0]
+        sx: List[float] = []
+        sy: List[float] = []
+        ux: List[float] = []
+        uy: List[float] = []
+        cum: List[float] = []  # offset at which each leg starts
+        leg_len: List[float] = []
+        for e in edges:
+            consumed = 0.0
+            for seg in e.path.segments:
+                length = seg.length
+                if length <= 1e-12:
+                    continue
+                sx.append(seg.a.x)
+                sy.append(seg.a.y)
+                ux.append((seg.b.x - seg.a.x) / length)
+                uy.append((seg.b.y - seg.a.y) / length)
+                cum.append(consumed)
+                leg_len.append(length)
+                consumed += length
+            leg_ptr.append(len(sx))
+        self.leg_ptr = np.array(leg_ptr, dtype=np.int64)
+        self.leg_sx = np.array(sx)
+        self.leg_sy = np.array(sy)
+        self.leg_ux = np.array(ux)
+        self.leg_uy = np.array(uy)
+        self.leg_cum = np.array(cum)
+        self.leg_len = np.array(leg_len)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges."""
+        return len(self.edge_length)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self.node_ids)
+
+    def points(self, edge: np.ndarray, offset: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """2-D coordinates of ``(edge, offset)`` particle positions.
+
+        Fully vectorized: finds each particle's polyline leg by walking the
+        leg table (edges have at most a handful of legs; door spurs have
+        two).
+        """
+        leg = self.leg_ptr[edge].copy()
+        last = self.leg_ptr[edge + 1] - 1
+        # Advance to the leg containing the offset.
+        while True:
+            beyond = (leg < last) & (
+                offset > self.leg_cum[leg] + self.leg_len[leg] + 1e-12
+            )
+            if not beyond.any():
+                break
+            leg[beyond] += 1
+        local = np.clip(offset - self.leg_cum[leg], 0.0, self.leg_len[leg])
+        x = self.leg_sx[leg] + self.leg_ux[leg] * local
+        y = self.leg_sy[leg] + self.leg_uy[leg] * local
+        return x, y
+
+
+class CompiledAnchors:
+    """Anchor coordinates as arrays, for vectorized nearest-anchor snaps."""
+
+    def __init__(self, anchor_index: AnchorIndex):
+        self.anchor_index = anchor_index
+        anchors = anchor_index.anchors
+        self.ap_ids = np.array([a.ap_id for a in anchors], dtype=np.int64)
+        self.x = np.array([a.point.x for a in anchors])
+        self.y = np.array([a.point.y for a in anchors])
+
+    def nearest(self, px: np.ndarray, py: np.ndarray) -> np.ndarray:
+        """Ids of the anchor nearest to each input point.
+
+        Computes the full distance matrix; with a few hundred anchors and
+        at most a few hundred particles this is faster than any index.
+        """
+        dx = px[:, None] - self.x[None, :]
+        dy = py[:, None] - self.y[None, :]
+        return self.ap_ids[np.argmin(dx * dx + dy * dy, axis=1)]

@@ -1,0 +1,45 @@
+"""Anchor-point discretization of a particle set.
+
+Paper Algorithm 2, lines 32-36: every particle is assigned to its nearest
+anchor point; an anchor holding ``n`` of the ``Ns`` particles gets
+probability ``n / Ns`` (more generally, the sum of its particles'
+normalized weights).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.compiled import CompiledAnchors, CompiledGraph
+from repro.core.particles import ParticleSet
+
+
+def particles_to_anchor_distribution(
+    particles: ParticleSet,
+    compiled_graph: CompiledGraph,
+    compiled_anchors: CompiledAnchors,
+) -> Dict[int, float]:
+    """Snap particles to anchors and return ``{ap_id: probability}``.
+
+    Uses the particles' weights (uniform ``1/Ns`` right after resampling,
+    which reduces to the paper's ``n/Ns`` counting).
+    """
+    if len(particles) == 0:
+        return {}
+    x, y = compiled_graph.points(particles.edge, particles.offset)
+    anchor_ids = compiled_anchors.nearest(x, y)
+
+    weights = particles.weight
+    total = weights.sum()
+    if total <= 0 or not np.isfinite(total):
+        weights = np.full(len(particles), 1.0 / len(particles))
+        total = 1.0
+
+    distribution: Dict[int, float] = {}
+    for ap_id in np.unique(anchor_ids):
+        mass = float(weights[anchor_ids == ap_id].sum() / total)
+        if mass > 0.0:
+            distribution[int(ap_id)] = mass
+    return distribution

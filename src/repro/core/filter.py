@@ -1,0 +1,177 @@
+"""The particle filter algorithm (paper Algorithm 2).
+
+Given an object's retained reading history (up to the two most recent
+detecting devices), the filter:
+
+1. seeds particles uniformly within the activation range of the older
+   device at the history's first second;
+2. replays every second up to ``min(t_d + 60, t_current)``: particles move
+   along the graph (motion model), and on observed seconds are reweighted
+   (sensing model), normalized, and resampled (Algorithm 1);
+3. returns the final particle set, which the preprocessing module snaps to
+   anchor points.
+
+Resuming from a cached state (paper Section 4.5) replays only the seconds
+after the cached timestamp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.collector.collector import ReadingHistory
+from repro.config import SimulationConfig
+from repro.core.compiled import CompiledGraph
+from repro.core.motion import GraphMotionModel
+from repro.core.particles import ParticleSet
+from repro.core.resampling import systematic_resample
+from repro.core.sensing import DeviceSensingModel
+from repro.rfid.reader import RFIDReader
+from repro.rng import RngLike, make_rng
+
+Resampler = Callable[..., np.ndarray]
+
+
+@dataclass
+class FilterResult:
+    """Output of one filter run: final particles and the second they represent."""
+
+    particles: ParticleSet
+    end_second: int
+
+
+class ParticleFilter:
+    """SIR particle filter over the indoor walking graph."""
+
+    def __init__(
+        self,
+        compiled: CompiledGraph,
+        readers: Mapping[str, RFIDReader],
+        config: SimulationConfig,
+        resampler: Resampler = systematic_resample,
+    ):
+        self.compiled = compiled
+        self.readers = dict(readers)
+        self.config = config
+        self.resampler = resampler
+        self.motion = GraphMotionModel(
+            compiled,
+            speed_mean=config.speed_mean,
+            speed_std=config.speed_std,
+            room_exit_probability=config.room_exit_probability,
+            door_entry_probability=config.door_entry_probability,
+        )
+        self.sensing = DeviceSensingModel(
+            compiled, readers,
+            weight_hit=config.weight_hit,
+            weight_miss=config.weight_miss,
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        history: ReadingHistory,
+        current_second: int,
+        rng: RngLike = None,
+        resume: Optional[Tuple[ParticleSet, int]] = None,
+    ) -> FilterResult:
+        """Run (or resume) the filter for one object.
+
+        ``resume`` is ``(particles, state_second)`` from the cache module;
+        when provided and not in the future, only seconds after
+        ``state_second`` are replayed. The caller is responsible for cache
+        validity (same device generation — Section 4.5).
+        """
+        if history.is_empty:
+            raise ValueError(
+                f"object {history.object_id!r} has no readings; it cannot be filtered"
+            )
+        generator = make_rng(rng)
+        t0 = history.first_second
+        td = history.last_second
+        # Line 6 of Algorithm 2: never run more than 60 s past the last
+        # reading — with no observations the cloud disperses into noise.
+        t_end = int(min(td + self.config.silence_cap_seconds, current_second))
+
+        if resume is not None and resume[1] <= t_end:
+            particles = resume[0].copy()
+            t_state = resume[1]
+        else:
+            particles = self._initialize(history, generator)
+            t_state = t0
+
+        for second in range(t_state + 1, t_end + 1):
+            self.motion.step(particles, generator, dt=1.0)
+            reader_id = history.reading_at(second)
+            if reader_id is None:
+                if self.config.use_negative_information:
+                    self._observe_silence(particles, generator)
+                continue
+            self._observe(particles, reader_id, generator)
+        return FilterResult(particles=particles, end_second=t_end)
+
+    def _observe_silence(
+        self, particles: ParticleSet, rng: np.random.Generator
+    ) -> None:
+        """Negative-information extension: no reading is also evidence.
+
+        Particles standing inside some reader's range during a silent
+        second are penalized (the object would almost surely have been
+        read there). Resampling is deferred until the weights degenerate,
+        so repeated silent seconds do not add resampling noise.
+        """
+        mask = self.sensing.reweight_negative(
+            particles, self.config.negative_likelihood
+        )
+        if mask.all():
+            # Everything is in covered space (e.g. dense deployments right
+            # after initialization): silence carries no contrast, undo.
+            particles.normalize_weights()
+            return
+        particles.normalize_weights()
+        ess = 1.0 / float(np.sum(particles.weight ** 2))
+        if ess < len(particles) / 2.0:
+            indices = self.resampler(particles.weight, len(particles), rng)
+            resampled = particles.select(indices)
+            self._replace(particles, resampled)
+
+    # ------------------------------------------------------------------
+    def _initialize(self, history: ReadingHistory, rng: np.random.Generator) -> ParticleSet:
+        """Algorithm 2 line 5: seed within the older device's range."""
+        reader = self.readers[history.initial_reader_id]
+        return self.motion.initialize_in_circle(
+            self.config.num_particles, reader.detection_circle, rng
+        )
+
+    def _observe(
+        self, particles: ParticleSet, reader_id: str, rng: np.random.Generator
+    ) -> None:
+        """Reweight, normalize, and resample on one observation."""
+        mask = self.sensing.reweight(particles, reader_id)
+        if not mask.any():
+            # Particle depletion: no hypothesis is consistent with the
+            # observation (e.g. the cloud dispersed during a long silent
+            # stretch, or the object backtracked against all particles).
+            # Recover by re-seeding within the observed reader's range —
+            # the object is certainly there (paper Section 3.2, Case 1).
+            reseeded = self.motion.initialize_in_circle(
+                len(particles), self.readers[reader_id].detection_circle, rng
+            )
+            self._replace(particles, reseeded)
+            return
+        particles.normalize_weights()
+        indices = self.resampler(particles.weight, len(particles), rng)
+        self._replace(particles, particles.select(indices))
+
+    @staticmethod
+    def _replace(particles: ParticleSet, source: ParticleSet) -> None:
+        """Overwrite ``particles`` in place with ``source``'s state."""
+        particles.edge[:] = source.edge
+        particles.offset[:] = source.offset
+        particles.direction[:] = source.direction
+        particles.speed[:] = source.speed
+        particles.dwelling[:] = source.dwelling
+        particles.weight[:] = source.weight

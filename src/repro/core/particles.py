@@ -1,0 +1,90 @@
+"""Vectorized particle state.
+
+Each particle is a hypothesis of an object's state (paper Section 3.2):
+its location on the walking graph (edge + offset), moving direction along
+the edge, walking speed, whether it is dwelling inside a room, and its
+importance weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class ParticleSet:
+    """A set of particles stored as parallel numpy arrays.
+
+    ``direction`` is +1 when moving from ``node_a`` toward ``node_b`` of
+    the particle's edge, -1 otherwise. ``dwelling`` particles sit at a
+    room node and ignore direction until they exit.
+    """
+
+    edge: np.ndarray        # int64, edge ids
+    offset: np.ndarray      # float64, meters from node_a
+    direction: np.ndarray   # int8, +1 / -1
+    speed: np.ndarray       # float64, m/s
+    dwelling: np.ndarray    # bool
+    weight: np.ndarray      # float64, importance weights
+
+    def __post_init__(self) -> None:
+        n = len(self.edge)
+        for name in ("offset", "direction", "speed", "dwelling", "weight"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"field {name!r} has mismatched length")
+
+    def __len__(self) -> int:
+        return len(self.edge)
+
+    @classmethod
+    def empty(cls, n: int) -> "ParticleSet":
+        """Allocate an uninitialized set of ``n`` particles."""
+        return cls(
+            edge=np.zeros(n, dtype=np.int64),
+            offset=np.zeros(n),
+            direction=np.ones(n, dtype=np.int8),
+            speed=np.ones(n),
+            dwelling=np.zeros(n, dtype=bool),
+            weight=np.full(n, 1.0 / max(n, 1)),
+        )
+
+    def copy(self) -> "ParticleSet":
+        """Deep copy (used by the cache module)."""
+        return ParticleSet(
+            edge=self.edge.copy(),
+            offset=self.offset.copy(),
+            direction=self.direction.copy(),
+            speed=self.speed.copy(),
+            dwelling=self.dwelling.copy(),
+            weight=self.weight.copy(),
+        )
+
+    def select(self, indices: np.ndarray) -> "ParticleSet":
+        """A new set formed by rows ``indices`` with uniform weights.
+
+        This is the "assign sample / assign weight" step of the paper's
+        resampling Algorithm 1 (lines 13-14).
+        """
+        n = len(indices)
+        return ParticleSet(
+            edge=self.edge[indices].copy(),
+            offset=self.offset[indices].copy(),
+            direction=self.direction[indices].copy(),
+            speed=self.speed[indices].copy(),
+            dwelling=self.dwelling[indices].copy(),
+            weight=np.full(n, 1.0 / max(n, 1)),
+        )
+
+    def normalize_weights(self) -> None:
+        """Scale weights to sum to 1 (Algorithm 2 line 28).
+
+        When the total mass collapses to zero (numerically), falls back to
+        uniform weights.
+        """
+        total = self.weight.sum()
+        if total <= 0.0 or not np.isfinite(total):
+            self.weight[:] = 1.0 / max(len(self), 1)
+        else:
+            self.weight /= total

@@ -1,0 +1,89 @@
+"""Particle filter-based preprocessing module (paper Section 4.4).
+
+Receives the candidate set from the query-aware optimization module, runs
+(or resumes) the particle filter for each candidate, discretizes the
+result onto anchor points, and fills the ``APtoObjHT`` hash table that the
+query evaluation module reads.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.collector.collector import EventDrivenCollector
+from repro.config import SimulationConfig
+from repro.core.compiled import CompiledAnchors, CompiledGraph
+from repro.core.discretize import particles_to_anchor_distribution
+from repro.core.filter import ParticleFilter
+from repro.core.resampling import systematic_resample
+from repro.graph.anchors import AnchorIndex
+from repro.graph.walking_graph import WalkingGraph
+from repro.rfid.reader import RFIDReader
+from repro.rng import RngLike, make_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cache.particle_cache import ParticleCacheManager
+
+
+class PreprocessingModule:
+    """Runs particle filters for candidate objects and builds ``APtoObjHT``."""
+
+    def __init__(
+        self,
+        graph: WalkingGraph,
+        anchor_index: AnchorIndex,
+        readers,
+        config: SimulationConfig,
+        cache: "Optional[ParticleCacheManager]" = None,
+        resampler=systematic_resample,
+    ):
+        self.graph = graph
+        self.anchor_index = anchor_index
+        self.config = config
+        self.cache = cache
+        self.compiled_graph = CompiledGraph(graph)
+        self.compiled_anchors = CompiledAnchors(anchor_index)
+        readers_by_id = {r.reader_id: r for r in readers} if not isinstance(
+            readers, dict
+        ) else dict(readers)
+        self.readers = readers_by_id
+        self.filter = ParticleFilter(
+            self.compiled_graph, readers_by_id, config, resampler=resampler
+        )
+
+    def process(
+        self,
+        candidates: Iterable[str],
+        collector: EventDrivenCollector,
+        current_second: int,
+        rng: RngLike = None,
+    ):
+        """Filter every candidate and return a fresh ``APtoObjHT`` table.
+
+        Objects with no reading history are skipped — the system has no
+        evidence about them (they have not yet entered any reader's range).
+        """
+        from repro.index.hashtable import AnchorObjectTable
+
+        generator = make_rng(rng)
+        table = AnchorObjectTable()
+        for object_id in candidates:
+            history = collector.history(object_id)
+            if history.is_empty:
+                continue
+            resume = None
+            generation = collector.device_generation(object_id)
+            if self.cache is not None:
+                resume = self.cache.lookup(object_id, generation)
+            result = self.filter.run(
+                history, current_second, rng=generator, resume=resume
+            )
+            if self.cache is not None:
+                self.cache.store(
+                    object_id, result.particles, result.end_second, generation
+                )
+            distribution = particles_to_anchor_distribution(
+                result.particles, self.compiled_graph, self.compiled_anchors
+            )
+            table.set_distribution(object_id, distribution)
+        return table

@@ -1,0 +1,31 @@
+"""Indoor floor plan model.
+
+The paper's setting (Section 4.2) is a typical office building: hallways
+whose width is fully covered by RFID detection ranges, and rooms connected
+to hallways by doors. This package models those entities, validates their
+composition, and provides the deterministic preset used by the paper's
+evaluation (30 rooms, 4 hallways, 19 readers on a single floor).
+"""
+
+from repro.floorplan.entities import Door, Hallway, Room
+from repro.floorplan.plan import FloorPlan, FloorPlanError
+from repro.floorplan.builder import FloorPlanBuilder
+from repro.floorplan.presets import (
+    cross_office_plan,
+    linear_office_plan,
+    paper_office_plan,
+    small_test_plan,
+)
+
+__all__ = [
+    "Door",
+    "Hallway",
+    "Room",
+    "FloorPlan",
+    "FloorPlanError",
+    "FloorPlanBuilder",
+    "paper_office_plan",
+    "small_test_plan",
+    "linear_office_plan",
+    "cross_office_plan",
+]

@@ -1,0 +1,99 @@
+"""Programmatic floor plan construction.
+
+The builder provides the small vocabulary the presets (and users) need:
+add axis-aligned hallways, add rooms with a door onto a named hallway, and
+finally validate everything into an immutable :class:`FloorPlan`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.geometry import Point, Rect, Segment
+from repro.floorplan.entities import Door, Hallway, Room
+from repro.floorplan.plan import FloorPlan, FloorPlanError
+
+
+class FloorPlanBuilder:
+    """Incrementally assemble a :class:`FloorPlan`."""
+
+    def __init__(self) -> None:
+        self._hallways: List[Hallway] = []
+        self._rooms: List[Room] = []
+        self._door_counter = 0
+
+    def add_hallway(
+        self, hallway_id: str, start: Point, end: Point, width: float = 2.0
+    ) -> Hallway:
+        """Add an axis-aligned hallway with the given centerline."""
+        hallway = Hallway(hallway_id, Segment(start, end), width)
+        self._hallways.append(hallway)
+        return hallway
+
+    def add_room(
+        self, room_id: str, boundary: Rect, hallway_id: str, door_x: float = None,
+        door_y: float = None,
+    ) -> Room:
+        """Add a rectangular room with a door onto ``hallway_id``.
+
+        The door is placed on the room edge facing the hallway. By default
+        it sits at the room-center coordinate along the shared wall; pass
+        ``door_x`` (for horizontal hallways) or ``door_y`` (for vertical
+        hallways) to shift it.
+        """
+        hallway = self._find_hallway(hallway_id)
+        door_pos = self._door_position(boundary, hallway, door_x, door_y)
+        offset, dist = hallway.project(door_pos)
+        hallway_point = hallway.point_at(offset)
+        if dist > hallway.width / 2.0 + 1e-6:
+            raise FloorPlanError(
+                f"room {room_id!r} door at {door_pos} is {dist:.2f} m from the "
+                f"centerline of hallway {hallway_id!r}, beyond its half width"
+            )
+        self._door_counter += 1
+        door = Door(
+            door_id=f"door{self._door_counter}",
+            room_id=room_id,
+            hallway_id=hallway_id,
+            position=door_pos,
+            hallway_point=hallway_point,
+        )
+        room = Room(room_id=room_id, boundary=boundary, door=door)
+        self._rooms.append(room)
+        return room
+
+    def build(self) -> FloorPlan:
+        """Validate and return the immutable floor plan."""
+        return FloorPlan(self._hallways, self._rooms)
+
+    # ------------------------------------------------------------------
+    def _find_hallway(self, hallway_id: str) -> Hallway:
+        for hallway in self._hallways:
+            if hallway.hallway_id == hallway_id:
+                return hallway
+        raise FloorPlanError(f"unknown hallway {hallway_id!r}; add it first")
+
+    @staticmethod
+    def _door_position(
+        boundary: Rect, hallway: Hallway, door_x, door_y
+    ) -> Point:
+        """Place the door on the room edge nearest to the hallway band."""
+        band = hallway.band
+        if hallway.centerline.is_horizontal:
+            x = door_x if door_x is not None else boundary.center.x
+            if not boundary.min_x - 1e-9 <= x <= boundary.max_x + 1e-9:
+                raise FloorPlanError(
+                    f"door_x={x} falls outside the room x-range "
+                    f"[{boundary.min_x}, {boundary.max_x}]"
+                )
+            # Room above or below the hallway band?
+            y = boundary.min_y if boundary.min_y >= band.max_y - 1e-9 else boundary.max_y
+            return Point(x, y)
+        y = door_y if door_y is not None else boundary.center.y
+        if not boundary.min_y - 1e-9 <= y <= boundary.max_y + 1e-9:
+            raise FloorPlanError(
+                f"door_y={y} falls outside the room y-range "
+                f"[{boundary.min_y}, {boundary.max_y}]"
+            )
+        x = boundary.min_x if boundary.min_x >= band.max_x - 1e-9 else boundary.max_x
+        return Point(x, y)

@@ -1,0 +1,124 @@
+"""Floor plan entities: hallways, rooms, doors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.geometry import Point, Rect, Segment
+
+
+@dataclass(frozen=True)
+class Hallway:
+    """A straight, axis-aligned hallway.
+
+    The hallway is described by its *centerline* segment plus a width; the
+    walkable band is the rectangle of that width around the centerline.
+    The paper models hallways as lines (Section 4.2) because readers cover
+    the full hallway width, so positions across the width are
+    indistinguishable; the width still matters for range-query evaluation
+    (Algorithm 3 compensates by the width ratio ``w_qh / w_h``).
+    """
+
+    hallway_id: str
+    centerline: Segment
+    width: float
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"hallway width must be positive, got {self.width}")
+        if self.centerline.is_degenerate:
+            raise ValueError(f"hallway {self.hallway_id} has a degenerate centerline")
+        if not (self.centerline.is_horizontal or self.centerline.is_vertical):
+            raise ValueError(
+                f"hallway {self.hallway_id} centerline must be axis-aligned"
+            )
+
+    @property
+    def length(self) -> float:
+        """Centerline length."""
+        return self.centerline.length
+
+    @property
+    def band(self) -> Rect:
+        """The walkable rectangle of the hallway."""
+        half = self.width / 2.0
+        a, b = self.centerline.a, self.centerline.b
+        if self.centerline.is_horizontal:
+            return Rect(min(a.x, b.x), a.y - half, max(a.x, b.x), a.y + half)
+        return Rect(a.x - half, min(a.y, b.y), a.x + half, max(a.y, b.y))
+
+    def project(self, p: Point) -> Tuple[float, float]:
+        """Project ``p`` onto the centerline; returns ``(offset, distance)``."""
+        return self.centerline.project(p)
+
+    def point_at(self, offset: float) -> Point:
+        """The centerline point at arc-length ``offset``."""
+        return self.centerline.point_at(offset)
+
+    def contains(self, p: Point) -> bool:
+        """True if ``p`` lies in the walkable band."""
+        return self.band.contains(p)
+
+
+@dataclass(frozen=True)
+class Door:
+    """A door connecting a room to a hallway.
+
+    ``position`` is the door's location on the room boundary;
+    ``hallway_point`` is its projection onto the hallway centerline, which
+    is where the walking graph attaches the room spur.
+    """
+
+    door_id: str
+    room_id: str
+    hallway_id: str
+    position: Point
+    hallway_point: Point
+
+    @property
+    def spur_length(self) -> float:
+        """Distance from the hallway centerline to the door."""
+        return self.position.distance_to(self.hallway_point)
+
+
+@dataclass(frozen=True)
+class Room:
+    """A rectangular room with a single door onto a hallway.
+
+    Rooms have no reader coverage (readers are deployed only in hallways,
+    for cost and privacy reasons — paper Section 1), so the location
+    resolution inside a room is the room itself.
+    """
+
+    room_id: str
+    boundary: Rect
+    door: Door
+
+    def __post_init__(self) -> None:
+        if self.boundary.area <= 0:
+            raise ValueError(f"room {self.room_id} must have positive area")
+        if self.door.room_id != self.room_id:
+            raise ValueError(
+                f"door {self.door.door_id} belongs to room {self.door.room_id}, "
+                f"not {self.room_id}"
+            )
+        if self.boundary.distance_to_point(self.door.position) > 1e-6:
+            raise ValueError(
+                f"door {self.door.door_id} must lie on the boundary of room "
+                f"{self.room_id}"
+            )
+
+    @property
+    def center(self) -> Point:
+        """The room's center point (the walking-graph room node)."""
+        return self.boundary.center
+
+    @property
+    def area(self) -> float:
+        """Floor area of the room."""
+        return self.boundary.area
+
+    def contains(self, p: Point) -> bool:
+        """True if ``p`` lies inside the room."""
+        return self.boundary.contains(p)

@@ -1,0 +1,170 @@
+"""The composed floor plan and its validation rules."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.geometry import Point, Rect
+from repro.floorplan.entities import Door, Hallway, Room
+
+
+class FloorPlanError(ValueError):
+    """Raised when a floor plan violates its structural invariants."""
+
+
+class FloorPlan:
+    """An immutable single-floor plan: hallways, rooms, and doors.
+
+    Invariants enforced at construction:
+
+    * rooms do not overlap each other;
+    * rooms do not overlap hallway walkable bands;
+    * every door's room and hallway exist, the door lies on its room's
+      boundary, and its hallway projection lies inside the hallway band;
+    * hallway ids and room ids are unique.
+    """
+
+    def __init__(self, hallways: Iterable[Hallway], rooms: Iterable[Room]):
+        self._hallways: Dict[str, Hallway] = {}
+        for hallway in hallways:
+            if hallway.hallway_id in self._hallways:
+                raise FloorPlanError(f"duplicate hallway id {hallway.hallway_id!r}")
+            self._hallways[hallway.hallway_id] = hallway
+
+        self._rooms: Dict[str, Room] = {}
+        for room in rooms:
+            if room.room_id in self._rooms:
+                raise FloorPlanError(f"duplicate room id {room.room_id!r}")
+            self._rooms[room.room_id] = room
+
+        self._validate()
+        self._bounds = self._compute_bounds()
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def hallways(self) -> List[Hallway]:
+        """All hallways, in insertion order."""
+        return list(self._hallways.values())
+
+    @property
+    def rooms(self) -> List[Room]:
+        """All rooms, in insertion order."""
+        return list(self._rooms.values())
+
+    @property
+    def doors(self) -> List[Door]:
+        """All doors, one per room."""
+        return [room.door for room in self._rooms.values()]
+
+    @property
+    def bounds(self) -> Rect:
+        """Bounding rectangle of the whole plan."""
+        return self._bounds
+
+    @property
+    def total_area(self) -> float:
+        """Walkable area: hallway bands plus room areas.
+
+        Hallway intersections are counted once (overlaps between hallway
+        bands are subtracted pairwise; the presets never make three bands
+        overlap in one spot).
+        """
+        area = sum(h.band.area for h in self._hallways.values())
+        hallway_list = list(self._hallways.values())
+        for i, first in enumerate(hallway_list):
+            for second in hallway_list[i + 1:]:
+                area -= first.band.overlap_area(second.band)
+        area += sum(room.area for room in self._rooms.values())
+        return area
+
+    def hallway(self, hallway_id: str) -> Hallway:
+        """Look up a hallway by id."""
+        try:
+            return self._hallways[hallway_id]
+        except KeyError:
+            raise FloorPlanError(f"unknown hallway {hallway_id!r}") from None
+
+    def room(self, room_id: str) -> Room:
+        """Look up a room by id."""
+        try:
+            return self._rooms[room_id]
+        except KeyError:
+            raise FloorPlanError(f"unknown room {room_id!r}") from None
+
+    def has_room(self, room_id: str) -> bool:
+        """True if ``room_id`` names a room of this plan."""
+        return room_id in self._rooms
+
+    def room_at(self, p: Point) -> Optional[Room]:
+        """The room containing ``p``, or ``None``."""
+        for room in self._rooms.values():
+            if room.contains(p):
+                return room
+        return None
+
+    def hallway_at(self, p: Point) -> Optional[Hallway]:
+        """The hallway whose band contains ``p``, or ``None``."""
+        for hallway in self._hallways.values():
+            if hallway.contains(p):
+                return hallway
+        return None
+
+    def contains(self, p: Point) -> bool:
+        """True if ``p`` is in walkable space (hallway band or room)."""
+        return self.hallway_at(p) is not None or self.room_at(p) is not None
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if not self._hallways:
+            raise FloorPlanError("a floor plan needs at least one hallway")
+
+        room_list = list(self._rooms.values())
+        for i, first in enumerate(room_list):
+            for second in room_list[i + 1:]:
+                if first.boundary.overlap_area(second.boundary) > 1e-9:
+                    raise FloorPlanError(
+                        f"rooms {first.room_id!r} and {second.room_id!r} overlap"
+                    )
+
+        for room in room_list:
+            for hallway in self._hallways.values():
+                if room.boundary.overlap_area(hallway.band) > 1e-9:
+                    raise FloorPlanError(
+                        f"room {room.room_id!r} overlaps hallway "
+                        f"{hallway.hallway_id!r}"
+                    )
+
+        for room in room_list:
+            door = room.door
+            if door.hallway_id not in self._hallways:
+                raise FloorPlanError(
+                    f"door {door.door_id!r} references unknown hallway "
+                    f"{door.hallway_id!r}"
+                )
+            hallway = self._hallways[door.hallway_id]
+            offset, dist = hallway.project(door.hallway_point)
+            if dist > 1e-6:
+                raise FloorPlanError(
+                    f"door {door.door_id!r} hallway_point is not on the "
+                    f"centerline of hallway {door.hallway_id!r}"
+                )
+            del offset
+
+    def _compute_bounds(self) -> Rect:
+        rects = [h.band for h in self._hallways.values()]
+        rects += [room.boundary for room in self._rooms.values()]
+        return Rect(
+            min(r.min_x for r in rects),
+            min(r.min_y for r in rects),
+            max(r.max_x for r in rects),
+            max(r.max_y for r in rects),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FloorPlan(hallways={len(self._hallways)}, rooms={len(self._rooms)})"
+        )

@@ -1,0 +1,247 @@
+"""Deterministic floor plan presets.
+
+``paper_office_plan`` reproduces the evaluation setting of the paper
+(Section 5): a single floor with 30 rooms and 4 hallways, every room
+connected to a hallway by a door. The exact geometry is not published, so
+we use a rectangular hallway loop (two horizontal and two vertical
+hallways) with 16 rooms on the outside of the loop and 14 rooms inside —
+see DESIGN.md for why this preserves the structure that matters.
+"""
+
+from __future__ import annotations
+
+from repro.geometry import Point, Rect
+from repro.floorplan.builder import FloorPlanBuilder
+from repro.floorplan.plan import FloorPlan
+
+#: Building extent of the paper preset, meters.
+PAPER_BUILDING_WIDTH = 64.0
+PAPER_BUILDING_HEIGHT = 32.0
+
+#: Hallway geometry of the paper preset.
+_HALLWAY_WIDTH = 2.0
+_LOOP_MIN_X = 4.0
+_ROOM_DEPTH = 4.0
+_BOTTOM_Y = 5.0
+
+
+def paper_office_plan(
+    width: float = PAPER_BUILDING_WIDTH, height: float = PAPER_BUILDING_HEIGHT
+) -> FloorPlan:
+    """The 30-room, 4-hallway office floor used throughout the evaluation.
+
+    Layout (not to scale)::
+
+        +--------------------------------------------------+
+        |  r9 r10 r11 r12 r13 r14 r15 r16    (outer top)    |
+        |==== H2 (top hallway) =============================|
+        |  inner top row (7 rooms)                          |
+        | H3                                             H4 |
+        |  inner bottom row (7 rooms)                       |
+        |==== H1 (bottom hallway) ==========================|
+        |  r1 r2 r3 r4 r5 r6 r7 r8          (outer bottom)  |
+        +--------------------------------------------------+
+
+    The default 64 m x 32 m footprint gives 156 m of hallway centerline;
+    the 19 readers at the default 2 m activation range then cover about
+    half of the hallways, leaving cells a few meters long between
+    readers — the regime where the particle filter's direction/speed
+    inference visibly beats the symbolic model's uniform spreading.
+    ``width``/``height`` rescale the footprint while keeping the
+    room/hallway/reader topology identical.
+    """
+    loop_max_x = width - _LOOP_MIN_X
+    top_y = height - _BOTTOM_Y
+    if loop_max_x - _LOOP_MIN_X < 16.0 or top_y - _BOTTOM_Y < 10.0:
+        raise ValueError(f"building {width} x {height} is too small for the preset")
+
+    builder = FloorPlanBuilder()
+    builder.add_hallway(
+        "H1", Point(_LOOP_MIN_X, _BOTTOM_Y), Point(loop_max_x, _BOTTOM_Y),
+        width=_HALLWAY_WIDTH,
+    )
+    builder.add_hallway(
+        "H2", Point(_LOOP_MIN_X, top_y), Point(loop_max_x, top_y),
+        width=_HALLWAY_WIDTH,
+    )
+    builder.add_hallway(
+        "H3", Point(_LOOP_MIN_X + 1.0, _BOTTOM_Y), Point(_LOOP_MIN_X + 1.0, top_y),
+        width=_HALLWAY_WIDTH,
+    )
+    builder.add_hallway(
+        "H4", Point(loop_max_x - 1.0, _BOTTOM_Y), Point(loop_max_x - 1.0, top_y),
+        width=_HALLWAY_WIDTH,
+    )
+
+    inner_lo = _BOTTOM_Y + 1.0   # top edge of H1's band
+    inner_hi = top_y - 1.0       # bottom edge of H2's band
+    inner_mid = (inner_lo + inner_hi) / 2.0
+    room_index = 1
+
+    # Outer bottom row: 8 rooms below H1, doors opening up onto H1.
+    room_index = _add_room_row(
+        builder, room_index, "H1",
+        x_lo=_LOOP_MIN_X, x_hi=loop_max_x,
+        y_lo=_BOTTOM_Y - 1.0 - _ROOM_DEPTH, y_hi=_BOTTOM_Y - 1.0, count=8,
+    )
+    # Outer top row: 8 rooms above H2, doors opening down onto H2.
+    room_index = _add_room_row(
+        builder, room_index, "H2",
+        x_lo=_LOOP_MIN_X, x_hi=loop_max_x,
+        y_lo=top_y + 1.0, y_hi=top_y + 1.0 + _ROOM_DEPTH, count=8,
+    )
+    # Inner bottom row: 7 rooms inside the loop facing H1.
+    room_index = _add_room_row(
+        builder, room_index, "H1",
+        x_lo=_LOOP_MIN_X + 2.0, x_hi=loop_max_x - 2.0,
+        y_lo=inner_lo, y_hi=inner_mid, count=7,
+    )
+    # Inner top row: 7 rooms inside the loop facing H2.
+    room_index = _add_room_row(
+        builder, room_index, "H2",
+        x_lo=_LOOP_MIN_X + 2.0, x_hi=loop_max_x - 2.0,
+        y_lo=inner_mid, y_hi=inner_hi, count=7,
+    )
+
+    plan = builder.build()
+    assert len(plan.rooms) == 30, "paper preset must have exactly 30 rooms"
+    assert len(plan.hallways) == 4, "paper preset must have exactly 4 hallways"
+    return plan
+
+
+def small_test_plan() -> FloorPlan:
+    """A minimal plan for unit tests: one hallway, four rooms.
+
+    Mirrors the structure of the paper's Figure 1 example — a straight
+    hallway with rooms on both sides.
+    """
+    builder = FloorPlanBuilder()
+    builder.add_hallway("H1", Point(0.0, 5.0), Point(20.0, 5.0), width=2.0)
+    builder.add_room("R1", Rect(0.0, 0.0, 10.0, 4.0), "H1")
+    builder.add_room("R2", Rect(10.0, 0.0, 20.0, 4.0), "H1")
+    builder.add_room("R3", Rect(0.0, 6.0, 10.0, 10.0), "H1")
+    builder.add_room("R4", Rect(10.0, 6.0, 20.0, 10.0), "H1")
+    return builder.build()
+
+
+def linear_office_plan(
+    num_rooms_per_side: int = 5,
+    room_width: float = 6.0,
+    room_depth: float = 5.0,
+    hallway_width: float = 2.0,
+) -> FloorPlan:
+    """A single straight hallway with rooms on both sides.
+
+    The structure of the paper's Figure 1 example, parameterized — useful
+    for controlled experiments where the loop topology of the paper
+    preset would confound results (e.g. studying direction inference).
+    """
+    if num_rooms_per_side < 1:
+        raise ValueError("num_rooms_per_side must be >= 1")
+    length = num_rooms_per_side * room_width
+    y_center = room_depth + hallway_width / 2.0
+    builder = FloorPlanBuilder()
+    builder.add_hallway(
+        "H1", Point(0.0, y_center), Point(length, y_center), width=hallway_width
+    )
+    band_lo = y_center - hallway_width / 2.0
+    band_hi = y_center + hallway_width / 2.0
+    index = 1
+    for i in range(num_rooms_per_side):
+        builder.add_room(
+            f"R{index}",
+            Rect(i * room_width, band_lo - room_depth,
+                 (i + 1) * room_width, band_lo),
+            "H1",
+        )
+        index += 1
+    for i in range(num_rooms_per_side):
+        builder.add_room(
+            f"R{index}",
+            Rect(i * room_width, band_hi,
+                 (i + 1) * room_width, band_hi + room_depth),
+            "H1",
+        )
+        index += 1
+    return builder.build()
+
+
+def cross_office_plan(arm_length: float = 24.0, rooms_per_arm: int = 3) -> FloorPlan:
+    """Two hallways crossing at the center, rooms along every arm side.
+
+    A topology with a true 4-way intersection (the loop preset only has
+    3-way corners), exercising the motion model's random-turn behaviour
+    at high-degree nodes.
+    """
+    if arm_length < 12.0:
+        raise ValueError("arm_length must be >= 12")
+    if rooms_per_arm < 1:
+        raise ValueError("rooms_per_arm must be >= 1")
+    center = arm_length
+    builder = FloorPlanBuilder()
+    builder.add_hallway(
+        "H1", Point(0.0, center), Point(2 * arm_length, center), width=2.0
+    )
+    builder.add_hallway(
+        "H2", Point(center, 0.0), Point(center, 2 * arm_length), width=2.0
+    )
+    # Rooms keep a 6 m clearance from the crossing so the four arms'
+    # corner rooms never collide with each other or the hallway bands.
+    room_width = (arm_length - 6.0) / rooms_per_arm
+    index = 1
+    for i in range(rooms_per_arm):
+        # Below the horizontal hallway, west arm.
+        builder.add_room(
+            f"R{index}",
+            Rect(i * room_width, center - 5.0, (i + 1) * room_width, center - 1.0),
+            "H1",
+        )
+        index += 1
+        # Above the horizontal hallway, east arm.
+        builder.add_room(
+            f"R{index}",
+            Rect(
+                center + 6.0 + i * room_width, center + 1.0,
+                center + 6.0 + (i + 1) * room_width, center + 5.0,
+            ),
+            "H1",
+        )
+        index += 1
+        # West of the vertical hallway, south arm.
+        builder.add_room(
+            f"R{index}",
+            Rect(center - 5.0, i * room_width, center - 1.0, (i + 1) * room_width),
+            "H2",
+        )
+        index += 1
+        # East of the vertical hallway, north arm.
+        builder.add_room(
+            f"R{index}",
+            Rect(
+                center + 1.0, center + 6.0 + i * room_width,
+                center + 5.0, center + 6.0 + (i + 1) * room_width,
+            ),
+            "H2",
+        )
+        index += 1
+    return builder.build()
+
+
+def _add_room_row(
+    builder: FloorPlanBuilder,
+    start_index: int,
+    hallway_id: str,
+    x_lo: float,
+    x_hi: float,
+    y_lo: float,
+    y_hi: float,
+    count: int,
+) -> int:
+    """Add ``count`` equal-width rooms spanning ``[x_lo, x_hi]``."""
+    width = (x_hi - x_lo) / count
+    index = start_index
+    for i in range(count):
+        boundary = Rect(x_lo + i * width, y_lo, x_lo + (i + 1) * width, y_hi)
+        builder.add_room(f"R{index}", boundary, hallway_id)
+        index += 1
+    return index

@@ -1,0 +1,14 @@
+"""2-D geometry substrate.
+
+Every higher-level model in the reproduction (floor plans, walking graphs,
+RFID activation ranges, query windows) is expressed in terms of the small
+set of immutable primitives defined here: :class:`Point`, :class:`Segment`,
+:class:`Rect`, and :class:`Circle`.
+"""
+
+from repro.geometry.point import Point
+from repro.geometry.polyline import Polyline
+from repro.geometry.segment import Segment
+from repro.geometry.shapes import Circle, Rect
+
+__all__ = ["Point", "Segment", "Rect", "Circle", "Polyline"]

@@ -1,0 +1,92 @@
+"""Polylines: multi-leg paths with arc-length parameterization.
+
+Door edges of the walking graph are two-leg polylines (hallway centerline
+point -> door -> room center), so edge traversal, anchor placement, and
+projection must work on polylines, not just straight segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.geometry.point import Point
+from repro.geometry.segment import Segment
+
+
+@dataclass(frozen=True)
+class Polyline:
+    """An immutable chain of straight legs through ``points``."""
+
+    points: Tuple[Point, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.points) < 2:
+            raise ValueError("a polyline needs at least two points")
+
+    @classmethod
+    def from_points(cls, points: Sequence[Point]) -> "Polyline":
+        """Build a polyline, dropping consecutive duplicate points."""
+        cleaned: List[Point] = []
+        for p in points:
+            if not cleaned or not cleaned[-1].is_close(p):
+                cleaned.append(p)
+        if len(cleaned) == 1:
+            cleaned.append(cleaned[0])
+        return cls(tuple(cleaned))
+
+    @property
+    def segments(self) -> List[Segment]:
+        """The straight legs of the polyline."""
+        return [
+            Segment(self.points[i], self.points[i + 1])
+            for i in range(len(self.points) - 1)
+        ]
+
+    @property
+    def length(self) -> float:
+        """Total arc length."""
+        return sum(seg.length for seg in self.segments)
+
+    @property
+    def start(self) -> Point:
+        """First point."""
+        return self.points[0]
+
+    @property
+    def end(self) -> Point:
+        """Last point."""
+        return self.points[-1]
+
+    def point_at(self, offset: float) -> Point:
+        """The point at arc length ``offset`` from the start (clamped)."""
+        remaining = max(offset, 0.0)
+        last = self.points[0]
+        for seg in self.segments:
+            leg = seg.length
+            if remaining <= leg:
+                return seg.point_at(remaining)
+            remaining -= leg
+            last = seg.b
+        return last
+
+    def project(self, p: Point) -> Tuple[float, float]:
+        """Closest point on the polyline to ``p``.
+
+        Returns ``(offset, distance)`` with ``offset`` measured from the
+        start along the arc.
+        """
+        best_offset = 0.0
+        best_dist = float("inf")
+        consumed = 0.0
+        for seg in self.segments:
+            offset, dist = seg.project(p)
+            if dist < best_dist:
+                best_dist = dist
+                best_offset = consumed + offset
+            consumed += seg.length
+        return best_offset, best_dist
+
+    def reversed(self) -> "Polyline":
+        """The same polyline traversed end to start."""
+        return Polyline(tuple(reversed(self.points)))

@@ -1,0 +1,103 @@
+"""Line segments and projection utilities.
+
+Hallway centerlines and walking-graph edges are straight segments; particle
+motion, anchor-point placement, and reader coverage all need projection and
+interpolation along segments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A directed straight segment from ``a`` to ``b``."""
+
+    a: Point
+    b: Point
+
+    @property
+    def length(self) -> float:
+        """Euclidean length of the segment."""
+        return self.a.distance_to(self.b)
+
+    @property
+    def is_degenerate(self) -> bool:
+        """True when the endpoints coincide."""
+        return self.a.is_close(self.b)
+
+    @property
+    def is_horizontal(self) -> bool:
+        """True when both endpoints share a y coordinate."""
+        return math.isclose(self.a.y, self.b.y, abs_tol=1e-9)
+
+    @property
+    def is_vertical(self) -> bool:
+        """True when both endpoints share an x coordinate."""
+        return math.isclose(self.a.x, self.b.x, abs_tol=1e-9)
+
+    def point_at(self, offset: float) -> Point:
+        """The point at arc-length ``offset`` from ``a`` along the segment.
+
+        ``offset`` is clamped into ``[0, length]`` so that accumulated
+        floating-point drift in particle motion can never leave the segment.
+        """
+        length = self.length
+        if length == 0.0:
+            return self.a
+        t = min(max(offset / length, 0.0), 1.0)
+        return self.a.lerp(self.b, t)
+
+    def project(self, p: Point) -> Tuple[float, float]:
+        """Project ``p`` onto the segment.
+
+        Returns ``(offset, distance)`` where ``offset`` is the arc length
+        from ``a`` to the closest point (clamped to the segment) and
+        ``distance`` is the Euclidean distance from ``p`` to that closest
+        point.
+        """
+        length = self.length
+        denom = length * length
+        if denom == 0.0:  # degenerate, or so short that length^2 underflows
+            return 0.0, self.a.distance_to(p)
+        ax, ay = self.a.x, self.a.y
+        bx, by = self.b.x, self.b.y
+        t = ((p.x - ax) * (bx - ax) + (p.y - ay) * (by - ay)) / denom
+        t = min(max(t, 0.0), 1.0)
+        closest = Point(ax + t * (bx - ax), ay + t * (by - ay))
+        return t * length, closest.distance_to(p)
+
+    def closest_point(self, p: Point) -> Point:
+        """The point on the segment closest to ``p``."""
+        offset, _ = self.project(p)
+        return self.point_at(offset)
+
+    def distance_to_point(self, p: Point) -> float:
+        """Euclidean distance from ``p`` to the segment."""
+        _, dist = self.project(p)
+        return dist
+
+    def reversed(self) -> "Segment":
+        """The same segment directed from ``b`` to ``a``."""
+        return Segment(self.b, self.a)
+
+    def sample(self, spacing: float, include_endpoints: bool = True):
+        """Yield points spaced ``spacing`` apart along the segment.
+
+        The first point is ``a``; the last sampled point may fall short of
+        ``b`` unless ``include_endpoints`` forces ``b`` to be yielded.
+        """
+        if spacing <= 0:
+            raise ValueError(f"spacing must be positive, got {spacing}")
+        length = self.length
+        n = int(math.floor(length / spacing))
+        offsets = [i * spacing for i in range(n + 1)]
+        if include_endpoints and (not offsets or offsets[-1] < length - 1e-9):
+            offsets.append(length)
+        for offset in offsets:
+            yield self.point_at(offset)

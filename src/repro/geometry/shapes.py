@@ -1,0 +1,210 @@
+"""Axis-aligned rectangles and circles.
+
+Rectangles model rooms, hallway bands, and range-query windows; circles
+model RFID activation ranges and the uncertain regions of the query-aware
+optimization module (paper Section 4.3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.geometry.point import Point
+from repro.geometry.segment import Segment
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ValueError(
+                "invalid Rect: min corner must not exceed max corner "
+                f"({self.min_x}, {self.min_y}, {self.max_x}, {self.max_y})"
+            )
+
+    @classmethod
+    def from_corners(cls, p: Point, q: Point) -> "Rect":
+        """Build the bounding rectangle of two arbitrary corner points."""
+        return cls(
+            min(p.x, q.x), min(p.y, q.y), max(p.x, q.x), max(p.y, q.y)
+        )
+
+    @classmethod
+    def from_center(cls, center: Point, width: float, height: float) -> "Rect":
+        """Build a rectangle of the given size centered on ``center``."""
+        if width < 0 or height < 0:
+            raise ValueError("width and height must be non-negative")
+        return cls(
+            center.x - width / 2.0,
+            center.y - height / 2.0,
+            center.x + width / 2.0,
+            center.y + height / 2.0,
+        )
+
+    @property
+    def width(self) -> float:
+        """Extent along x."""
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        """Extent along y."""
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        """Width times height."""
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        """The rectangle's center point."""
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    def contains(self, p: Point) -> bool:
+        """True if ``p`` lies inside or on the boundary."""
+        return (
+            self.min_x <= p.x <= self.max_x and self.min_y <= p.y <= self.max_y
+        )
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True if ``other`` lies entirely inside this rectangle."""
+        return (
+            self.min_x <= other.min_x
+            and self.min_y <= other.min_y
+            and self.max_x >= other.max_x
+            and self.max_y >= other.max_y
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """True if the two rectangles share any point (boundaries count)."""
+        return (
+            self.min_x <= other.max_x
+            and other.min_x <= self.max_x
+            and self.min_y <= other.max_y
+            and other.min_y <= self.max_y
+        )
+
+    def intersection(self, other: "Rect") -> Optional["Rect"]:
+        """The overlapping rectangle, or ``None`` when disjoint."""
+        if not self.intersects(other):
+            return None
+        return Rect(
+            max(self.min_x, other.min_x),
+            max(self.min_y, other.min_y),
+            min(self.max_x, other.max_x),
+            min(self.max_y, other.max_y),
+        )
+
+    def overlap_area(self, other: "Rect") -> float:
+        """Area of the intersection (0.0 when disjoint)."""
+        inter = self.intersection(other)
+        return inter.area if inter is not None else 0.0
+
+    def expanded(self, margin: float) -> "Rect":
+        """A rectangle grown by ``margin`` on every side."""
+        return Rect(
+            self.min_x - margin,
+            self.min_y - margin,
+            self.max_x + margin,
+            self.max_y + margin,
+        )
+
+    def distance_to_point(self, p: Point) -> float:
+        """Euclidean distance from ``p`` to the rectangle (0 if inside)."""
+        dx = max(self.min_x - p.x, 0.0, p.x - self.max_x)
+        dy = max(self.min_y - p.y, 0.0, p.y - self.max_y)
+        return math.hypot(dx, dy)
+
+    def clamp_point(self, p: Point) -> Point:
+        """The point of the rectangle closest to ``p``."""
+        return Point(
+            min(max(p.x, self.min_x), self.max_x),
+            min(max(p.y, self.min_y), self.max_y),
+        )
+
+
+@dataclass(frozen=True)
+class Circle:
+    """A circle given by center and radius.
+
+    Used for RFID activation ranges and for the uncertain region
+    ``UR(o_i)`` of the query-aware optimization module.
+    """
+
+    center: Point
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius < 0:
+            raise ValueError(f"radius must be non-negative, got {self.radius}")
+
+    @property
+    def area(self) -> float:
+        """pi * r^2."""
+        return math.pi * self.radius * self.radius
+
+    def contains(self, p: Point) -> bool:
+        """True if ``p`` lies inside or on the circle."""
+        return self.center.squared_distance_to(p) <= self.radius * self.radius + 1e-12
+
+    def intersects_rect(self, rect: Rect) -> bool:
+        """True if the circle and rectangle share any point."""
+        return rect.distance_to_point(self.center) <= self.radius + 1e-12
+
+    def intersects_circle(self, other: "Circle") -> bool:
+        """True if the two circles share any point."""
+        reach = self.radius + other.radius
+        return self.center.squared_distance_to(other.center) <= reach * reach + 1e-12
+
+    def intersects_segment(self, seg: Segment) -> bool:
+        """True if any point of ``seg`` lies inside the circle."""
+        return seg.distance_to_point(self.center) <= self.radius + 1e-12
+
+    def segment_overlap(self, seg: Segment) -> Optional[tuple]:
+        """Arc-length interval of ``seg`` covered by the circle.
+
+        Returns ``(lo, hi)`` offsets along the segment (from ``seg.a``)
+        bounding the covered chord, or ``None`` when the segment misses the
+        circle entirely. Used to carve reader-covered intervals out of
+        hallway edges when building the symbolic deployment graph.
+        """
+        length = seg.length
+        # Solve |a + t*(b-a) - c|^2 = r^2 for t in [0, 1].
+        ax, ay = seg.a.x, seg.a.y
+        dx, dy = seg.b.x - ax, seg.b.y - ay
+        fx, fy = ax - self.center.x, ay - self.center.y
+        qa = dx * dx + dy * dy
+        if qa == 0.0:  # degenerate, or so short that length^2 underflows
+            return (0.0, 0.0) if self.contains(seg.a) else None
+        qb = 2.0 * (fx * dx + fy * dy)
+        qc = fx * fx + fy * fy - self.radius * self.radius
+        disc = qb * qb - 4.0 * qa * qc
+        if disc < 0:
+            return None
+        sqrt_disc = math.sqrt(disc)
+        t0 = (-qb - sqrt_disc) / (2.0 * qa)
+        t1 = (-qb + sqrt_disc) / (2.0 * qa)
+        lo = max(t0, 0.0)
+        hi = min(t1, 1.0)
+        if lo > hi:
+            return None
+        return (lo * length, hi * length)
+
+    def bounding_rect(self) -> Rect:
+        """The smallest axis-aligned rectangle containing the circle."""
+        return Rect(
+            self.center.x - self.radius,
+            self.center.y - self.radius,
+            self.center.x + self.radius,
+            self.center.y + self.radius,
+        )

@@ -1,0 +1,30 @@
+"""Indoor walking graph model (paper Section 4.2).
+
+The walking graph ``G<N, E>`` abstracts the regular walking patterns of
+people in an indoor environment: hallway centerlines become chains of
+edges, and each room hangs off its hallway as a short "door spur" ending
+at a room node. Objects, particles, anchor points, and query points are
+all constrained to live on ``E``, and the distance metric for kNN queries
+is the shortest network distance on ``G``.
+"""
+
+from repro.graph.model import Edge, EdgeKind, Node, NodeKind
+from repro.graph.location import GraphLocation
+from repro.graph.walking_graph import WalkingGraph, build_walking_graph
+from repro.graph.anchors import AnchorPoint, AnchorIndex, build_anchor_index
+from repro.graph.routing import Route, plan_route
+
+__all__ = [
+    "Edge",
+    "EdgeKind",
+    "Node",
+    "NodeKind",
+    "GraphLocation",
+    "WalkingGraph",
+    "build_walking_graph",
+    "AnchorPoint",
+    "AnchorIndex",
+    "build_anchor_index",
+    "Route",
+    "plan_route",
+]

@@ -1,0 +1,95 @@
+"""Node and edge records of the indoor walking graph."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Tuple
+
+from repro.geometry import Point, Polyline
+
+
+class NodeKind(Enum):
+    """What a graph node represents in the floor plan."""
+
+    HALLWAY = "hallway"
+    ROOM = "room"
+
+
+class EdgeKind(Enum):
+    """What a graph edge represents in the floor plan."""
+
+    HALLWAY = "hallway"
+    DOOR = "door"
+
+
+@dataclass(frozen=True)
+class Node:
+    """A walking-graph node.
+
+    Hallway nodes sit on a hallway centerline (endpoints, intersections
+    with other hallways, and door attachment points); room nodes sit at
+    room centers, reachable only through their door spur.
+    """
+
+    node_id: str
+    point: Point
+    kind: NodeKind
+    room_id: Optional[str] = None
+
+    @property
+    def is_room(self) -> bool:
+        """True for room nodes."""
+        return self.kind is NodeKind.ROOM
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A walking-graph edge with arc-length parameterization.
+
+    ``offset`` coordinates run from 0 at ``node_a`` to ``length`` at
+    ``node_b`` along ``path`` (a polyline: hallway edges are straight,
+    door spurs bend at the door).
+    """
+
+    edge_id: int
+    node_a: str
+    node_b: str
+    path: Polyline
+    kind: EdgeKind
+    hallway_id: Optional[str] = None
+    room_id: Optional[str] = None
+
+    @property
+    def length(self) -> float:
+        """Arc length of the edge."""
+        return self.path.length
+
+    @property
+    def endpoints(self) -> Tuple[str, str]:
+        """``(node_a, node_b)``."""
+        return (self.node_a, self.node_b)
+
+    def point_at(self, offset: float) -> Point:
+        """The 2-D point at arc length ``offset`` from ``node_a``."""
+        return self.path.point_at(offset)
+
+    def project(self, p: Point) -> Tuple[float, float]:
+        """Project ``p`` onto the edge; returns ``(offset, distance)``."""
+        return self.path.project(p)
+
+    def other(self, node_id: str) -> str:
+        """The endpoint opposite to ``node_id``."""
+        if node_id == self.node_a:
+            return self.node_b
+        if node_id == self.node_b:
+            return self.node_a
+        raise ValueError(f"node {node_id!r} is not an endpoint of edge {self.edge_id}")
+
+    def offset_of(self, node_id: str) -> float:
+        """The offset coordinate of endpoint ``node_id`` (0 or length)."""
+        if node_id == self.node_a:
+            return 0.0
+        if node_id == self.node_b:
+            return self.length
+        raise ValueError(f"node {node_id!r} is not an endpoint of edge {self.edge_id}")

@@ -1,0 +1,94 @@
+"""Shortest-path routing on the walking graph.
+
+The true trace generator (paper Section 5.1) makes each object "randomly
+select a room as its destination and walk along the shortest path on the
+indoor walking graph". :func:`plan_route` produces such a path as a list
+of edge legs that a mover can consume meter by meter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.graph.location import GraphLocation
+from repro.graph.walking_graph import WalkingGraph
+
+
+@dataclass(frozen=True)
+class Route:
+    """A path along the graph as ``(edge_id, from_offset, to_offset)`` legs.
+
+    Offsets are edge coordinates; a leg traverses its edge from
+    ``from_offset`` to ``to_offset`` (either direction).
+    """
+
+    legs: Tuple[Tuple[int, float, float], ...]
+
+    @property
+    def total_length(self) -> float:
+        """Sum of leg lengths."""
+        return sum(abs(hi - lo) for _, lo, hi in self.legs)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the route covers zero distance."""
+        return self.total_length <= 1e-12
+
+    def location_at(self, arc: float) -> GraphLocation:
+        """The graph location after walking ``arc`` meters along the route.
+
+        ``arc`` is clamped into ``[0, total_length]``.
+        """
+        if not self.legs:
+            raise ValueError("cannot interpolate an empty route")
+        remaining = max(arc, 0.0)
+        for edge_id, lo, hi in self.legs:
+            leg_len = abs(hi - lo)
+            if remaining <= leg_len or leg_len == 0.0:
+                direction = 1.0 if hi >= lo else -1.0
+                return GraphLocation(edge_id, lo + direction * min(remaining, leg_len))
+            remaining -= leg_len
+        edge_id, lo, hi = self.legs[-1]
+        return GraphLocation(edge_id, hi)
+
+    @property
+    def end(self) -> GraphLocation:
+        """The final location of the route."""
+        if not self.legs:
+            raise ValueError("empty route has no end")
+        edge_id, _, hi = self.legs[-1]
+        return GraphLocation(edge_id, hi)
+
+
+def plan_route(graph: WalkingGraph, start: GraphLocation, dest_node: str) -> Route:
+    """Shortest route from a graph location to a node.
+
+    Compares entering the path via either endpoint of the start edge and
+    picks the cheaper total; ties break toward ``node_a``.
+    """
+    edge = graph.edge(start.edge_id)
+    via_a = start.offset + graph.node_distance(edge.node_a, dest_node)
+    via_b = (edge.length - start.offset) + graph.node_distance(edge.node_b, dest_node)
+
+    legs: List[Tuple[int, float, float]] = []
+    if via_a <= via_b:
+        entry_node = edge.node_a
+        if start.offset > 1e-12:
+            legs.append((edge.edge_id, start.offset, 0.0))
+    else:
+        entry_node = edge.node_b
+        if edge.length - start.offset > 1e-12:
+            legs.append((edge.edge_id, start.offset, edge.length))
+
+    node_path = graph.shortest_node_path(entry_node, dest_node)
+    for node_a, node_b in zip(node_path, node_path[1:]):
+        hop = graph.connecting_edge(node_a, node_b)
+        legs.append(
+            (hop.edge_id, hop.offset_of(node_a), hop.offset_of(node_b))
+        )
+
+    if not legs:
+        # Already standing on the destination node.
+        legs.append((edge.edge_id, start.offset, start.offset))
+    return Route(tuple(legs))

@@ -1,0 +1,5 @@
+"""Anchor-point-to-object index (the paper's ``APtoObjHT`` hash table)."""
+
+from repro.index.hashtable import AnchorObjectTable
+
+__all__ = ["AnchorObjectTable"]

@@ -1,0 +1,45 @@
+"""Persistence: floor plans, reading logs, deployments, experiment rows.
+
+A deployed tracking system needs its world model and its data streams on
+disk: floor plans and reader deployments as JSON documents, raw RFID
+reading logs as CSV (the format a real middleware would hand over), and
+experiment results as CSV/JSON for analysis tooling.
+"""
+
+from repro.io.floorplan_json import (
+    load_floorplan,
+    floorplan_from_dict,
+    floorplan_to_dict,
+    save_floorplan,
+)
+from repro.io.deployment_json import (
+    deployment_from_dict,
+    deployment_to_dict,
+    load_deployment,
+    save_deployment,
+)
+from repro.io.readings_csv import (
+    read_readings_csv,
+    write_readings_csv,
+)
+from repro.io.results_io import (
+    load_rows_json,
+    save_rows_csv,
+    save_rows_json,
+)
+
+__all__ = [
+    "floorplan_to_dict",
+    "floorplan_from_dict",
+    "save_floorplan",
+    "load_floorplan",
+    "deployment_to_dict",
+    "deployment_from_dict",
+    "save_deployment",
+    "load_deployment",
+    "write_readings_csv",
+    "read_readings_csv",
+    "save_rows_csv",
+    "save_rows_json",
+    "load_rows_json",
+]

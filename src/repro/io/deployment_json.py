@@ -1,0 +1,71 @@
+"""Reader deployment (de)serialization to JSON."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Union
+
+from repro.geometry import Point
+from repro.rfid.reader import RFIDReader
+
+FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def deployment_to_dict(readers: Sequence[RFIDReader]) -> Dict[str, Any]:
+    """Serialize a reader deployment to a JSON-compatible dict."""
+    return {
+        "format": "repro-deployment",
+        "version": FORMAT_VERSION,
+        "readers": [
+            {
+                "id": reader.reader_id,
+                "position": [reader.position.x, reader.position.y],
+                "activation_range": reader.activation_range,
+                "hallway": reader.hallway_id,
+            }
+            for reader in readers
+        ],
+    }
+
+
+def deployment_from_dict(data: Dict[str, Any]) -> List[RFIDReader]:
+    """Deserialize a reader deployment (validates ranges and unique ids)."""
+    if data.get("format") != "repro-deployment":
+        raise ValueError(
+            f"not a repro-deployment document (format={data.get('format')!r})"
+        )
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported repro-deployment version {data.get('version')!r}"
+        )
+    readers = [
+        RFIDReader(
+            reader_id=entry["id"],
+            position=Point(*entry["position"]),
+            activation_range=float(entry["activation_range"]),
+            hallway_id=entry.get("hallway", ""),
+        )
+        for entry in data.get("readers", [])
+    ]
+    seen = set()
+    for reader in readers:
+        if reader.reader_id in seen:
+            raise ValueError(f"duplicate reader id {reader.reader_id!r}")
+        seen.add(reader.reader_id)
+    return readers
+
+
+def save_deployment(readers: Sequence[RFIDReader], path: PathLike) -> None:
+    """Write a deployment to a JSON file."""
+    Path(path).write_text(
+        json.dumps(deployment_to_dict(readers), indent=2), encoding="utf-8"
+    )
+
+
+def load_deployment(path: PathLike) -> List[RFIDReader]:
+    """Read a deployment from a JSON file."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    return deployment_from_dict(data)

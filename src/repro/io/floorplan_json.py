@@ -1,0 +1,119 @@
+"""Floor plan (de)serialization to JSON.
+
+The document format is versioned and explicit: hallway centerlines with
+widths, room rectangles with their doors. Loading re-validates everything
+through the normal :class:`~repro.floorplan.FloorPlan` constructor, so a
+hand-edited document that violates an invariant (overlapping rooms, door
+off its wall) fails with the same errors as programmatic construction.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.floorplan.entities import Door, Hallway, Room
+from repro.floorplan.plan import FloorPlan, FloorPlanError
+from repro.geometry import Point, Rect, Segment
+
+FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def floorplan_to_dict(plan: FloorPlan) -> Dict[str, Any]:
+    """Serialize a floor plan to a JSON-compatible dict."""
+    return {
+        "format": "repro-floorplan",
+        "version": FORMAT_VERSION,
+        "hallways": [
+            {
+                "id": h.hallway_id,
+                "start": [h.centerline.a.x, h.centerline.a.y],
+                "end": [h.centerline.b.x, h.centerline.b.y],
+                "width": h.width,
+            }
+            for h in plan.hallways
+        ],
+        "rooms": [
+            {
+                "id": room.room_id,
+                "boundary": [
+                    room.boundary.min_x,
+                    room.boundary.min_y,
+                    room.boundary.max_x,
+                    room.boundary.max_y,
+                ],
+                "door": {
+                    "id": room.door.door_id,
+                    "hallway": room.door.hallway_id,
+                    "position": [room.door.position.x, room.door.position.y],
+                    "hallway_point": [
+                        room.door.hallway_point.x,
+                        room.door.hallway_point.y,
+                    ],
+                },
+            }
+            for room in plan.rooms
+        ],
+    }
+
+
+def floorplan_from_dict(data: Dict[str, Any]) -> FloorPlan:
+    """Deserialize and re-validate a floor plan."""
+    _check_header(data, "repro-floorplan")
+    hallways = [
+        Hallway(
+            hallway_id=entry["id"],
+            centerline=Segment(
+                Point(*entry["start"]), Point(*entry["end"])
+            ),
+            width=float(entry["width"]),
+        )
+        for entry in data.get("hallways", [])
+    ]
+    rooms = []
+    for entry in data.get("rooms", []):
+        door_data = entry["door"]
+        door = Door(
+            door_id=door_data["id"],
+            room_id=entry["id"],
+            hallway_id=door_data["hallway"],
+            position=Point(*door_data["position"]),
+            hallway_point=Point(*door_data["hallway_point"]),
+        )
+        rooms.append(
+            Room(
+                room_id=entry["id"],
+                boundary=Rect(*entry["boundary"]),
+                door=door,
+            )
+        )
+    return FloorPlan(hallways, rooms)
+
+
+def save_floorplan(plan: FloorPlan, path: PathLike) -> None:
+    """Write a floor plan to a JSON file."""
+    Path(path).write_text(
+        json.dumps(floorplan_to_dict(plan), indent=2), encoding="utf-8"
+    )
+
+
+def load_floorplan(path: PathLike) -> FloorPlan:
+    """Read and validate a floor plan from a JSON file."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    return floorplan_from_dict(data)
+
+
+def _check_header(data: Dict[str, Any], expected_format: str) -> None:
+    if data.get("format") != expected_format:
+        raise FloorPlanError(
+            f"not a {expected_format} document (format={data.get('format')!r})"
+        )
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise FloorPlanError(
+            f"unsupported {expected_format} version {version!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )

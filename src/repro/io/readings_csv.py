@@ -1,0 +1,73 @@
+"""Raw RFID reading logs as CSV.
+
+The on-disk format matches what a reader middleware typically exports:
+one row per detection sample, ``time,tag_id,reader_id``, sorted by time.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.rfid.readings import RawReading
+
+PathLike = Union[str, Path]
+
+_HEADER = ["time", "tag_id", "reader_id"]
+
+
+def write_readings_csv(readings: Iterable[RawReading], path: PathLike) -> None:
+    """Write raw readings to a CSV file (header + one row per sample)."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_HEADER)
+        for reading in readings:
+            writer.writerow([f"{reading.time:.6f}", reading.tag_id, reading.reader_id])
+
+
+def read_readings_csv(path: PathLike) -> List[RawReading]:
+    """Read raw readings from a CSV file, validating the header and rows."""
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path}: empty readings file") from None
+        if header != _HEADER:
+            raise ValueError(
+                f"{path}: unexpected header {header!r}; expected {_HEADER!r}"
+            )
+        readings = []
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != 3:
+                raise ValueError(
+                    f"{path}:{line_number}: expected 3 columns, got {len(row)}"
+                )
+            time_text, tag_id, reader_id = row
+            try:
+                time = float(time_text)
+            except ValueError:
+                raise ValueError(
+                    f"{path}:{line_number}: bad time value {time_text!r}"
+                ) from None
+            readings.append(RawReading(time=time, tag_id=tag_id, reader_id=reader_id))
+    readings.sort()
+    return readings
+
+
+def group_readings_by_second(readings: Iterable[RawReading]):
+    """Yield ``(second, [readings])`` batches in time order.
+
+    Convenience for replaying a log file into a collector or engine::
+
+        for second, batch in group_readings_by_second(read_readings_csv(p)):
+            engine.ingest_second(second, batch)
+    """
+    batches = {}
+    for reading in readings:
+        batches.setdefault(int(reading.time), []).append(reading)
+    for second in sorted(batches):
+        yield second, sorted(batches[second])

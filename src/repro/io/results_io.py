@@ -1,0 +1,47 @@
+"""Experiment result rows to CSV / JSON.
+
+The experiment sweeps (:mod:`repro.sim.experiments`) produce lists of
+flat dict rows; these helpers persist them for plotting or regression
+tracking.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Union
+
+PathLike = Union[str, Path]
+
+Row = Dict[str, Any]
+
+
+def save_rows_csv(rows: Sequence[Row], path: PathLike) -> None:
+    """Write rows to CSV; the header is the union of all row keys."""
+    if not rows:
+        Path(path).write_text("", encoding="utf-8")
+        return
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+
+
+def save_rows_json(rows: Sequence[Row], path: PathLike) -> None:
+    """Write rows to a JSON array."""
+    Path(path).write_text(json.dumps(list(rows), indent=2), encoding="utf-8")
+
+
+def load_rows_json(path: PathLike) -> List[Row]:
+    """Read rows from a JSON array file."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, list):
+        raise ValueError(f"{path}: expected a JSON array of rows")
+    return data

@@ -1,0 +1,120 @@
+"""Probabilistic closest-pairs queries (paper Section 6, future work).
+
+Finds the ``m`` pairs of objects with the smallest *expected* shortest
+network distance under the objects' anchor distributions:
+
+    E[d(o_a, o_b)] = sum_{i,j} p_a(ap_i) * p_b(ap_j) * d(ap_i, ap_j)
+
+Exact evaluation over all pairs is quadratic in objects times quadratic
+in anchors per object, so the implementation prunes with the
+mode-to-mode distance first: the expected distance of a pair can be
+bounded below by the mode distance minus each distribution's spread
+radius, which eliminates most pairs before the exact double sum.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.graph.anchors import AnchorIndex
+from repro.graph.walking_graph import WalkingGraph
+from repro.index.hashtable import AnchorObjectTable
+
+
+@dataclass(frozen=True)
+class PairResult:
+    """One closest-pair answer: the pair and its expected distance."""
+
+    object_a: str
+    object_b: str
+    expected_distance: float
+
+
+def evaluate_closest_pairs(
+    graph: WalkingGraph,
+    anchor_index: AnchorIndex,
+    table: AnchorObjectTable,
+    m: int = 1,
+    top_anchors: int = 8,
+) -> List[PairResult]:
+    """The ``m`` object pairs with the smallest expected network distance.
+
+    ``top_anchors`` truncates each object's distribution to its most
+    probable anchors (renormalized) before the exact expectation — the
+    tail anchors of a particle cloud carry little mass but dominate the
+    cost of the double sum.
+    """
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    if top_anchors < 1:
+        raise ValueError(f"top_anchors must be >= 1, got {top_anchors}")
+
+    objects = sorted(table.objects())
+    if len(objects) < 2:
+        return []
+
+    truncated: Dict[str, List[Tuple[int, float]]] = {}
+    spread: Dict[str, float] = {}
+    mode: Dict[str, int] = {}
+    for object_id in objects:
+        distribution = sorted(
+            table.distribution_of(object_id).items(), key=lambda kv: -kv[1]
+        )[:top_anchors]
+        total = sum(p for _, p in distribution)
+        distribution = [(ap, p / total) for ap, p in distribution]
+        truncated[object_id] = distribution
+        mode[object_id] = distribution[0][0]
+        mode_loc = anchor_index.anchor(distribution[0][0]).location
+        spread[object_id] = max(
+            graph.distance(mode_loc, anchor_index.anchor(ap).location)
+            for ap, _ in distribution
+        )
+
+    # Phase 1: lower bounds from mode distances, cheapest first.
+    candidates: List[Tuple[float, str, str]] = []
+    for i, obj_a in enumerate(objects):
+        loc_a = anchor_index.anchor(mode[obj_a]).location
+        for obj_b in objects[i + 1:]:
+            loc_b = anchor_index.anchor(mode[obj_b]).location
+            mode_distance = graph.distance(loc_a, loc_b)
+            lower = max(mode_distance - spread[obj_a] - spread[obj_b], 0.0)
+            candidates.append((lower, obj_a, obj_b))
+    candidates.sort()
+
+    # Phase 2: exact expectation until the lower bounds exceed the m-th
+    # best exact distance found so far.
+    best: List[Tuple[float, str, str]] = []  # max-heap via negation
+    for lower, obj_a, obj_b in candidates:
+        if len(best) == m and lower >= -best[0][0]:
+            break
+        exact = _expected_distance(
+            graph, anchor_index, truncated[obj_a], truncated[obj_b]
+        )
+        entry = (-exact, obj_a, obj_b)
+        if len(best) < m:
+            heapq.heappush(best, entry)
+        elif exact < -best[0][0]:
+            heapq.heapreplace(best, entry)
+
+    ordered = sorted(((-d, a, b) for d, a, b in best))
+    return [
+        PairResult(object_a=a, object_b=b, expected_distance=d)
+        for d, a, b in ordered
+    ]
+
+
+def _expected_distance(
+    graph: WalkingGraph,
+    anchor_index: AnchorIndex,
+    dist_a: List[Tuple[int, float]],
+    dist_b: List[Tuple[int, float]],
+) -> float:
+    total = 0.0
+    for ap_a, p_a in dist_a:
+        loc_a = anchor_index.anchor(ap_a).location
+        for ap_b, p_b in dist_b:
+            loc_b = anchor_index.anchor(ap_b).location
+            total += p_a * p_b * graph.distance(loc_a, loc_b)
+    return total

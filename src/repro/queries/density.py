@@ -1,0 +1,85 @@
+"""Zone density queries: expected object counts per region.
+
+A generalization of range queries that facility dashboards want: the
+expected number of objects per room (or per arbitrary zone), computed
+from the same filtered ``APtoObjHT`` table the other query types use.
+Expectations are additive over objects, so the per-zone expected count
+is just the sum of per-object in-zone probabilities (Algorithm 3 per
+zone).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from repro.floorplan.plan import FloorPlan
+from repro.geometry import Rect
+from repro.graph.anchors import AnchorIndex
+from repro.index.hashtable import AnchorObjectTable
+from repro.queries.range_query import evaluate_range_query
+from repro.queries.types import RangeQuery
+
+
+@dataclass(frozen=True)
+class ZoneDensity:
+    """Expected occupancy of one zone."""
+
+    zone_id: str
+    expected_count: float
+    top_objects: tuple
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.zone_id}: E[count]={self.expected_count:.2f}"
+
+
+def zone_densities(
+    zones: Mapping[str, Rect],
+    plan: FloorPlan,
+    anchor_index: AnchorIndex,
+    table: AnchorObjectTable,
+    top_n: int = 3,
+) -> List[ZoneDensity]:
+    """Expected object count per zone, sorted densest first."""
+    results: List[ZoneDensity] = []
+    for zone_id, window in zones.items():
+        answer = evaluate_range_query(
+            RangeQuery(zone_id, window), plan, anchor_index, table
+        )
+        expected = sum(answer.probabilities.values())
+        results.append(
+            ZoneDensity(
+                zone_id=zone_id,
+                expected_count=expected,
+                top_objects=tuple(answer.top(top_n)),
+            )
+        )
+    results.sort(key=lambda z: (-z.expected_count, z.zone_id))
+    return results
+
+
+def room_densities(
+    plan: FloorPlan,
+    anchor_index: AnchorIndex,
+    table: AnchorObjectTable,
+    top_n: int = 3,
+) -> List[ZoneDensity]:
+    """Expected occupancy of every room of the plan."""
+    zones = {room.room_id: room.boundary for room in plan.rooms}
+    return zone_densities(zones, plan, anchor_index, table, top_n=top_n)
+
+
+def busiest_zone(
+    zones: Mapping[str, Rect],
+    plan: FloorPlan,
+    anchor_index: AnchorIndex,
+    table: AnchorObjectTable,
+) -> Optional[ZoneDensity]:
+    """The densest zone, or None when ``zones`` is empty."""
+    ranked = zone_densities(zones, plan, anchor_index, table)
+    return ranked[0] if ranked else None
+
+
+def total_expected_objects(densities: Mapping[str, float]) -> float:
+    """Sum of expected counts over disjoint zones (sanity helper)."""
+    return sum(densities.values())

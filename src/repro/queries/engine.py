@@ -1,0 +1,276 @@
+"""The complete query evaluation system (paper Figure 3).
+
+Wires together the five modules:
+
+1. event-driven raw data collector,
+2. query-aware optimization module,
+3. particle filter-based preprocessing module,
+4. cache management module (optional),
+5. query evaluation module (Algorithms 3 and 4).
+
+Raw readings flow in second by second via :meth:`IndoorQueryEngine.ingest_second`;
+registered queries are answered at any timestamp via :meth:`evaluate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set
+
+from repro.cache.particle_cache import ParticleCacheManager
+from repro.collector.collector import EventDrivenCollector
+from repro.collector.historical import HistoricalCollector
+from repro.config import DEFAULT_CONFIG, SimulationConfig
+from repro.core.preprocessing import PreprocessingModule
+from repro.core.resampling import systematic_resample
+from repro.floorplan.plan import FloorPlan
+from repro.geometry import Point, Rect
+from repro.graph.anchors import AnchorIndex, build_anchor_index
+from repro.graph.walking_graph import WalkingGraph, build_walking_graph
+from repro.index.hashtable import AnchorObjectTable
+from repro.queries.knn_query import evaluate_knn_query
+from repro.queries.pruning import QueryAwareOptimizer
+from repro.queries.range_query import evaluate_range_query
+from repro.queries.types import KNNQuery, KNNResult, RangeQuery, RangeResult
+from repro.rfid.reader import RFIDReader
+from repro.rfid.readings import RawReading
+from repro.rng import RngLike, make_rng
+
+
+@dataclass
+class EngineSnapshot:
+    """One evaluation round: candidate set, filtered table, query answers."""
+
+    second: int
+    candidates: Set[str]
+    table: AnchorObjectTable
+    range_results: Dict[str, RangeResult] = field(default_factory=dict)
+    knn_results: Dict[str, KNNResult] = field(default_factory=dict)
+
+
+class IndoorQueryEngine:
+    """RFID + particle filter indoor spatial query evaluation system."""
+
+    def __init__(
+        self,
+        plan: FloorPlan,
+        readers: Sequence[RFIDReader],
+        tag_to_object: Mapping[str, str],
+        config: SimulationConfig = DEFAULT_CONFIG,
+        graph: Optional[WalkingGraph] = None,
+        anchor_index: Optional[AnchorIndex] = None,
+        use_cache: bool = True,
+        use_pruning: bool = True,
+        historical: bool = False,
+        resampler=systematic_resample,
+    ):
+        self.plan = plan
+        self.config = config
+        self.graph = graph if graph is not None else build_walking_graph(plan)
+        self.anchor_index = (
+            anchor_index
+            if anchor_index is not None
+            else build_anchor_index(self.graph, config.anchor_spacing)
+        )
+        self.readers = {r.reader_id: r for r in readers}
+        collector_cls = HistoricalCollector if historical else EventDrivenCollector
+        self.collector = collector_cls(tag_to_object)
+        self.cache = ParticleCacheManager() if use_cache else None
+        self.use_pruning = use_pruning
+        self.optimizer = QueryAwareOptimizer(
+            self.graph, self.anchor_index, self.readers, config
+        )
+        self.preprocessing = PreprocessingModule(
+            self.graph,
+            self.anchor_index,
+            self.readers,
+            config,
+            cache=self.cache,
+            resampler=resampler,
+        )
+        self._range_queries: List[RangeQuery] = []
+        self._knn_queries: List[KNNQuery] = []
+
+    # ------------------------------------------------------------------
+    # data ingestion
+    # ------------------------------------------------------------------
+    def ingest_second(self, second: int, raw_readings: Sequence[RawReading]) -> None:
+        """Feed one second of raw RFID readings into the collector."""
+        self.collector.ingest_second(second, raw_readings)
+
+    # ------------------------------------------------------------------
+    # query registration
+    # ------------------------------------------------------------------
+    def register_range_query(self, query: RangeQuery) -> None:
+        """Register a range query for the next evaluation round."""
+        self._range_queries.append(query)
+
+    def register_knn_query(self, query: KNNQuery) -> None:
+        """Register a kNN query for the next evaluation round."""
+        self._knn_queries.append(query)
+
+    def clear_queries(self) -> None:
+        """Drop all registered queries."""
+        self._range_queries.clear()
+        self._knn_queries.clear()
+
+    @property
+    def range_queries(self) -> List[RangeQuery]:
+        """Currently registered range queries."""
+        return list(self._range_queries)
+
+    @property
+    def knn_queries(self) -> List[KNNQuery]:
+        """Currently registered kNN queries."""
+        return list(self._knn_queries)
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, now: int, rng: RngLike = None) -> EngineSnapshot:
+        """Answer every registered query at time ``now``.
+
+        Runs the full Figure-3 pipeline: candidate pruning, particle
+        filtering (with cache reuse), anchor discretization, and query
+        evaluation over the resulting ``APtoObjHT`` table.
+        """
+        generator = make_rng(rng)
+        if self.use_pruning:
+            candidates = self.optimizer.candidates(
+                self.collector, now, self._range_queries, self._knn_queries
+            )
+        else:
+            candidates = set(self.collector.observed_objects())
+
+        table = self.preprocessing.process(
+            sorted(candidates), self.collector, now, generator
+        )
+        snapshot = EngineSnapshot(second=now, candidates=candidates, table=table)
+        for query in self._range_queries:
+            snapshot.range_results[query.query_id] = evaluate_range_query(
+                query, self.plan, self.anchor_index, table
+            )
+        for query in self._knn_queries:
+            snapshot.knn_results[query.query_id] = evaluate_knn_query(
+                query, self.graph, self.anchor_index, table
+            )
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # historical evaluation (requires historical=True)
+    # ------------------------------------------------------------------
+    def evaluate_at(self, second: int, rng: RngLike = None) -> EngineSnapshot:
+        """Answer every registered query *as of* a past second.
+
+        Requires the engine to have been constructed with
+        ``historical=True`` (a :class:`HistoricalCollector` keeping full
+        reading history). The particle filters are replayed from the
+        reading window that was current at ``second``; the cache is
+        bypassed so live snapshot state is never polluted with past
+        states.
+        """
+        if not isinstance(self.collector, HistoricalCollector):
+            raise TypeError(
+                "historical evaluation needs IndoorQueryEngine(historical=True)"
+            )
+        generator = make_rng(rng)
+        view = self.collector.as_of_view(second)
+        if self.use_pruning:
+            candidates = self.optimizer.candidates(
+                view, second, self._range_queries, self._knn_queries
+            )
+        else:
+            candidates = set(view.observed_objects())
+
+        table = self._historical_preprocessing().process(
+            sorted(candidates), view, second, generator
+        )
+        snapshot = EngineSnapshot(second=second, candidates=candidates, table=table)
+        for query in self._range_queries:
+            snapshot.range_results[query.query_id] = evaluate_range_query(
+                query, self.plan, self.anchor_index, table
+            )
+        for query in self._knn_queries:
+            snapshot.knn_results[query.query_id] = evaluate_knn_query(
+                query, self.graph, self.anchor_index, table
+            )
+        return snapshot
+
+    def range_query_at(
+        self, window: Rect, second: int, rng: RngLike = None
+    ) -> RangeResult:
+        """A single historical range query."""
+        query = RangeQuery("adhoc-range-at", window)
+        saved = self._range_queries, self._knn_queries
+        self._range_queries, self._knn_queries = [query], []
+        try:
+            snapshot = self.evaluate_at(second, rng)
+        finally:
+            self._range_queries, self._knn_queries = saved
+        return snapshot.range_results[query.query_id]
+
+    def knn_query_at(
+        self, point: Point, k: int, second: int, rng: RngLike = None
+    ) -> KNNResult:
+        """A single historical kNN query."""
+        query = KNNQuery("adhoc-knn-at", point, k)
+        saved = self._range_queries, self._knn_queries
+        self._range_queries, self._knn_queries = [], [query]
+        try:
+            snapshot = self.evaluate_at(second, rng)
+        finally:
+            self._range_queries, self._knn_queries = saved
+        return snapshot.knn_results[query.query_id]
+
+    def _historical_preprocessing(self) -> PreprocessingModule:
+        """A cache-less preprocessing module for time-travel evaluation."""
+        if getattr(self, "_historical_pp", None) is None:
+            self._historical_pp = PreprocessingModule(
+                self.graph,
+                self.anchor_index,
+                self.readers,
+                self.config,
+                cache=None,
+                resampler=self.preprocessing.filter.resampler,
+            )
+        return self._historical_pp
+
+    # ------------------------------------------------------------------
+    # one-shot conveniences
+    # ------------------------------------------------------------------
+    def range_query(self, window: Rect, now: int, rng: RngLike = None) -> RangeResult:
+        """Answer a single ad-hoc range query at time ``now``."""
+        query = RangeQuery("adhoc-range", window)
+        saved_range, saved_knn = self._range_queries, self._knn_queries
+        self._range_queries, self._knn_queries = [query], []
+        try:
+            snapshot = self.evaluate(now, rng)
+        finally:
+            self._range_queries, self._knn_queries = saved_range, saved_knn
+        return snapshot.range_results[query.query_id]
+
+    def knn_query(
+        self, point: Point, k: int, now: int, rng: RngLike = None
+    ) -> KNNResult:
+        """Answer a single ad-hoc kNN query at time ``now``."""
+        query = KNNQuery("adhoc-knn", point, k)
+        saved_range, saved_knn = self._range_queries, self._knn_queries
+        self._range_queries, self._knn_queries = [], [query]
+        try:
+            snapshot = self.evaluate(now, rng)
+        finally:
+            self._range_queries, self._knn_queries = saved_range, saved_knn
+        return snapshot.knn_results[query.query_id]
+
+    def locations_snapshot(self, now: int, rng: RngLike = None) -> AnchorObjectTable:
+        """Filtered location distributions for *all* observed objects.
+
+        Bypasses query-aware pruning; used by the top-k success metric,
+        which needs every object's distribution.
+        """
+        return self.preprocessing.process(
+            sorted(self.collector.observed_objects()),
+            self.collector,
+            now,
+            make_rng(rng),
+        )

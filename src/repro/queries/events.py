@@ -1,0 +1,168 @@
+"""Probabilistic event predicates over inferred locations.
+
+The RFID event-processing literature the paper builds on (Section 2.2,
+e.g. "Is Joe meeting with Mary in Room 203?") asks *event queries* over
+probabilistic location streams. This module provides a small composable
+predicate algebra evaluated against an ``APtoObjHT`` table:
+
+* ``InZone(object, window)`` — P(object inside a region);
+* ``Near(a, b, distance)`` — P(walking distance between two objects is
+  at most ``distance``);
+* ``Together(a, b, window)`` — P(both inside a region);
+* combinators ``And`` / ``Or`` / ``Not``.
+
+Combinators treat operand events as independent — exact joint
+distributions over many objects are exponential, and independence is the
+standard approximation in this literature. ``Near`` is exact (it sums
+the joint anchor grid of the two objects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.floorplan.plan import FloorPlan
+from repro.geometry import Rect
+from repro.graph.anchors import AnchorIndex
+from repro.graph.walking_graph import WalkingGraph
+from repro.index.hashtable import AnchorObjectTable
+from repro.queries.range_query import evaluate_range_query
+from repro.queries.types import RangeQuery
+
+
+@dataclass(frozen=True)
+class EventContext:
+    """Everything a predicate needs to evaluate."""
+
+    plan: FloorPlan
+    graph: WalkingGraph
+    anchor_index: AnchorIndex
+    table: AnchorObjectTable
+
+
+class Event:
+    """Base class: a predicate with a probability given a context."""
+
+    def probability(self, context: EventContext) -> float:
+        """P(event) under the context's location distributions."""
+        raise NotImplementedError
+
+    # Operator sugar: (a & b), (a | b), ~a.
+    def __and__(self, other: "Event") -> "Event":
+        return And((self, other))
+
+    def __or__(self, other: "Event") -> "Event":
+        return Or((self, other))
+
+    def __invert__(self) -> "Event":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class InZone(Event):
+    """The object is inside a rectangular zone."""
+
+    object_id: str
+    window: Rect
+
+    def probability(self, context: EventContext) -> float:
+        result = evaluate_range_query(
+            RangeQuery("event-zone", self.window),
+            context.plan,
+            context.anchor_index,
+            context.table,
+        )
+        return min(result.probabilities.get(self.object_id, 0.0), 1.0)
+
+
+@dataclass(frozen=True)
+class InRoom(Event):
+    """The object is inside a named room."""
+
+    object_id: str
+    room_id: str
+
+    def probability(self, context: EventContext) -> float:
+        boundary = context.plan.room(self.room_id).boundary
+        return InZone(self.object_id, boundary).probability(context)
+
+
+@dataclass(frozen=True)
+class Near(Event):
+    """Two objects are within a walking distance of each other.
+
+    Exact under the anchor distributions: sums the joint probability of
+    all anchor pairs within ``max_distance`` (distributions are a few
+    dozen anchors at most after filtering).
+    """
+
+    object_a: str
+    object_b: str
+    max_distance: float
+
+    def probability(self, context: EventContext) -> float:
+        if self.max_distance < 0:
+            raise ValueError("max_distance must be non-negative")
+        dist_a = context.table.distribution_of(self.object_a)
+        dist_b = context.table.distribution_of(self.object_b)
+        if not dist_a or not dist_b:
+            return 0.0
+        total = 0.0
+        for ap_a, p_a in dist_a.items():
+            loc_a = context.anchor_index.anchor(ap_a).location
+            for ap_b, p_b in dist_b.items():
+                loc_b = context.anchor_index.anchor(ap_b).location
+                if context.graph.distance(loc_a, loc_b) <= self.max_distance:
+                    total += p_a * p_b
+        return min(total, 1.0)
+
+
+@dataclass(frozen=True)
+class Together(Event):
+    """Both objects are inside the same zone (independence-approximate)."""
+
+    object_a: str
+    object_b: str
+    window: Rect
+
+    def probability(self, context: EventContext) -> float:
+        p_a = InZone(self.object_a, self.window).probability(context)
+        p_b = InZone(self.object_b, self.window).probability(context)
+        return p_a * p_b
+
+
+@dataclass(frozen=True)
+class And(Event):
+    """All operand events hold (independence-approximate)."""
+
+    events: Sequence[Event]
+
+    def probability(self, context: EventContext) -> float:
+        result = 1.0
+        for event in self.events:
+            result *= event.probability(context)
+        return result
+
+
+@dataclass(frozen=True)
+class Or(Event):
+    """At least one operand event holds (independence-approximate)."""
+
+    events: Sequence[Event]
+
+    def probability(self, context: EventContext) -> float:
+        none = 1.0
+        for event in self.events:
+            none *= 1.0 - event.probability(context)
+        return 1.0 - none
+
+
+@dataclass(frozen=True)
+class Not(Event):
+    """The operand event does not hold."""
+
+    event: Event
+
+    def probability(self, context: EventContext) -> float:
+        return 1.0 - self.event.probability(context)

@@ -1,0 +1,80 @@
+"""Indoor kNN query evaluation (paper Algorithm 4).
+
+Starting from the query point (approximated onto its nearest walking-graph
+edge), anchor points are visited in ascending order of shortest network
+distance, accumulating each visited anchor's indexed object probabilities,
+until the total probability reaches ``k``. The returned set
+``{(o_1, p_1), ...}`` has ``sum(p_i) >= k`` and at least ``k`` objects;
+``p_i`` is the probability that ``o_i`` is in the kNN result.
+
+The expansion is implemented as a Dijkstra search over the chain of
+anchors along edges (node anchors bridge edges), which visits anchors in
+exactly the ascending-distance order of the paper's per-frontier-segment
+expansion while handling cycles and branches uniformly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_left
+from typing import Dict, List, Set, Tuple
+
+from repro.graph.anchors import AnchorIndex
+from repro.graph.walking_graph import WalkingGraph
+from repro.index.hashtable import AnchorObjectTable
+from repro.queries.types import KNNQuery, KNNResult
+
+
+def evaluate_knn_query(
+    query: KNNQuery,
+    graph: WalkingGraph,
+    anchor_index: AnchorIndex,
+    table: AnchorObjectTable,
+) -> KNNResult:
+    """Evaluate one kNN query over the filtered ``APtoObjHT`` table."""
+    result = KNNResult(query.query_id)
+    adjacency = anchor_index.neighbors()
+
+    heap: List[Tuple[float, int]] = []
+    for distance, ap_id in _seed_anchors(query, graph, anchor_index):
+        heapq.heappush(heap, (distance, ap_id))
+
+    visited: Set[int] = set()
+    total = 0.0
+    while heap:
+        distance, ap_id = heapq.heappop(heap)
+        if ap_id in visited:
+            continue
+        visited.add(ap_id)
+
+        for object_id, probability in table.items_at(ap_id):
+            result.probabilities[object_id] = (
+                result.probabilities.get(object_id, 0.0) + probability
+            )
+            total += probability
+        if total >= query.k:
+            break
+
+        for neighbor, gap in adjacency[ap_id]:
+            if neighbor not in visited:
+                heapq.heappush(heap, (distance + gap, neighbor))
+    return result
+
+
+def _seed_anchors(
+    query: KNNQuery, graph: WalkingGraph, anchor_index: AnchorIndex
+) -> List[Tuple[float, int]]:
+    """The anchors bracketing the query point on its nearest edge."""
+    q_loc, _ = graph.locate(query.point)
+    ordered = anchor_index.on_edge(q_loc.edge_id)
+    offsets = [off for off, _ in ordered]
+    pos = bisect_left(offsets, q_loc.offset)
+
+    seeds: Dict[int, float] = {}
+    for index in (pos - 1, pos):
+        if 0 <= index < len(ordered):
+            offset, ap_id = ordered[index]
+            gap = abs(offset - q_loc.offset)
+            if ap_id not in seeds or gap < seeds[ap_id]:
+                seeds[ap_id] = gap
+    return [(gap, ap_id) for ap_id, gap in seeds.items()]

@@ -1,0 +1,107 @@
+"""Indoor range query evaluation (paper Algorithm 3).
+
+Anchor points are a 1-D projection of the 2-D indoor space, so summing
+anchor probabilities alone would over-count: the algorithm compensates per
+intersected cell —
+
+* hallway cells: anchors within the query's span *along* the hallway are
+  counted, scaled by ``w_qh / w_h`` (the fraction of the hallway width the
+  window covers), because objects are equally likely anywhere across the
+  width;
+* room cells: all anchors of the room are counted, scaled by
+  ``Area_qr / Area_R`` (objects are uniform within a room).
+
+Along the hallway *length* each anchor stands for a ``spacing``-wide
+stretch of hallway (anchors are the 1-D discretization of the
+centerline), so anchors at the window boundary contribute fractionally —
+the same uniform-compensation argument the paper applies across the
+width, applied along the length. This removes quantization cliffs when a
+window edge falls between two anchors.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.floorplan.entities import Hallway
+from repro.floorplan.plan import FloorPlan
+from repro.geometry import Rect
+from repro.graph.anchors import AnchorIndex
+from repro.index.hashtable import AnchorObjectTable
+from repro.queries.types import RangeQuery, RangeResult
+
+_EPS_AREA = 1e-12
+
+
+def evaluate_range_query(
+    query: RangeQuery,
+    plan: FloorPlan,
+    anchor_index: AnchorIndex,
+    table: AnchorObjectTable,
+) -> RangeResult:
+    """Evaluate one range query over the filtered ``APtoObjHT`` table."""
+    result = RangeResult(query.query_id)
+
+    for hallway in plan.hallways:
+        partial = _hallway_part(query, hallway, anchor_index, table)
+        if partial is not None:
+            result.merge(partial)
+
+    for room in plan.rooms:
+        overlap = room.boundary.overlap_area(query.window)
+        if overlap <= _EPS_AREA:
+            continue
+        ratio = overlap / room.area
+        partial = RangeResult(query.query_id)
+        for ap in anchor_index.in_room(room.room_id):
+            for object_id, probability in table.items_at(ap.ap_id):
+                partial.add(object_id, probability)
+        result.merge(partial.scaled(ratio))
+
+    return result
+
+
+def _hallway_part(
+    query: RangeQuery,
+    hallway: Hallway,
+    anchor_index: AnchorIndex,
+    table: AnchorObjectTable,
+) -> RangeResult:
+    """The hallway contribution: span-selected anchors scaled by width ratio."""
+    band = hallway.band
+    overlap = band.intersection(query.window)
+    if overlap is None or overlap.area <= _EPS_AREA:
+        return None
+
+    half = anchor_index.spacing / 2.0
+    if hallway.centerline.is_horizontal:
+        ratio = overlap.height / hallway.width
+        lo, hi = overlap.min_x, overlap.max_x
+        axis_lo, axis_hi = band.min_x, band.max_x
+        span = Rect(lo - half, band.min_y, hi + half, band.max_y)
+        axis_coord = lambda ap: ap.point.x  # noqa: E731
+    else:
+        ratio = overlap.width / hallway.width
+        lo, hi = overlap.min_y, overlap.max_y
+        axis_lo, axis_hi = band.min_y, band.max_y
+        span = Rect(band.min_x, lo - half, band.max_x, hi + half)
+        axis_coord = lambda ap: ap.point.y  # noqa: E731
+
+    partial = RangeResult(query.query_id)
+    for ap in anchor_index.in_rect(span):
+        if ap.hallway_id != hallway.hallway_id:
+            continue
+        coord = axis_coord(ap)
+        # The hallway stretch this anchor stands for, clamped to the
+        # hallway extent (edge-end anchors represent half cells).
+        cell_lo = max(coord - half, axis_lo)
+        cell_hi = min(coord + half, axis_hi)
+        if cell_hi - cell_lo <= 0.0:
+            continue
+        covered = min(cell_hi, hi) - max(cell_lo, lo)
+        fraction = min(max(covered / (cell_hi - cell_lo), 0.0), 1.0)
+        if fraction <= 0.0:
+            continue
+        for object_id, probability in table.items_at(ap.ap_id):
+            partial.add(object_id, probability * fraction)
+    return partial.scaled(ratio)

@@ -1,0 +1,29 @@
+"""RFID substrate: readers, tags, deployments, and noisy detection.
+
+Models the paper's sensing layer (Sections 1 and 4.1): readers with a
+fixed activation range are deployed along hallways; each moving object
+carries a tag; raw readings are generated at tens of samples per second
+and suffer false negatives.
+"""
+
+from repro.rfid.reader import RFIDReader
+from repro.rfid.tag import RFIDTag
+from repro.rfid.readings import AggregatedReading, RawReading
+from repro.rfid.detection import DetectionModel, ReaderOutage
+from repro.rfid.deployment import (
+    deploy_readers_uniform,
+    ranges_are_disjoint,
+    reader_by_id,
+)
+
+__all__ = [
+    "RFIDReader",
+    "RFIDTag",
+    "RawReading",
+    "AggregatedReading",
+    "DetectionModel",
+    "ReaderOutage",
+    "deploy_readers_uniform",
+    "ranges_are_disjoint",
+    "reader_by_id",
+]

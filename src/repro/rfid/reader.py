@@ -1,0 +1,43 @@
+"""RFID reader model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry import Circle, Point
+
+
+@dataclass(frozen=True)
+class RFIDReader:
+    """A fixed RFID reader with a circular activation range.
+
+    Readers are deployed on hallway centerlines; the default 2 m range
+    fully covers the 2 m hallway width, which is the assumption behind
+    modelling hallways as lines (paper Section 4.2).
+    """
+
+    reader_id: str
+    position: Point
+    activation_range: float
+    hallway_id: str = ""
+
+    def __post_init__(self) -> None:
+        if self.activation_range <= 0:
+            raise ValueError(
+                f"activation_range must be positive, got {self.activation_range}"
+            )
+
+    @property
+    def detection_circle(self) -> Circle:
+        """The activation range as a circle."""
+        return Circle(self.position, self.activation_range)
+
+    def covers(self, p: Point) -> bool:
+        """True if ``p`` is inside the activation range."""
+        return self.detection_circle.contains(p)
+
+    def with_range(self, activation_range: float) -> "RFIDReader":
+        """A copy of this reader with a different activation range."""
+        return RFIDReader(
+            self.reader_id, self.position, activation_range, self.hallway_id
+        )

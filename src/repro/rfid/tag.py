@@ -1,0 +1,18 @@
+"""RFID tag model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RFIDTag:
+    """A passive tag attached to a moving object.
+
+    The simulator keeps a bijection between tags and objects; the explicit
+    mapping exists so that reading streams speak in tag ids (what a reader
+    actually observes) while the query system speaks in object ids.
+    """
+
+    tag_id: str
+    object_id: str

@@ -1,0 +1,291 @@
+"""Parameter sweeps reproducing every figure of the paper's Section 5.
+
+Each ``run_figureN`` function sweeps the figure's x-axis parameter and
+returns one row per sweep value with the measured metrics; the benchmark
+harness prints these as the series the paper plots:
+
+* Figure 9  — range-query KL divergence vs query window size;
+* Figure 10 — kNN average hit rate vs k;
+* Figure 11 — KL / hit rate / top-k success vs number of particles;
+* Figure 12 — the same three metrics vs number of moving objects;
+* Figure 13 — the same three metrics vs reader activation range.
+
+``evaluate_accuracy`` runs one full simulation at one configuration and
+measures every requested metric, averaging over query locations and
+timestamps exactly like the paper's methodology (Section 5.2: "100 query
+windows ... results averaged over 50 different time stamps" — the counts
+are configurable to keep the default harness laptop-friendly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import DEFAULT_CONFIG, SimulationConfig
+from repro.queries.types import KNNQuery, RangeQuery
+from repro.sim.ground_truth import true_knn_result, true_range_result
+from repro.sim.metrics import knn_hit_rate, mean_of, range_query_kl, top_k_success
+from repro.sim.simulator import Simulation
+
+
+@dataclass
+class AccuracyReport:
+    """All accuracy metrics of one simulated configuration."""
+
+    config: SimulationConfig
+    range_kl_pf: Optional[float] = None
+    range_kl_sm: Optional[float] = None
+    knn_hit_pf: Optional[float] = None
+    knn_hit_sm: Optional[float] = None
+    top1_success: Optional[float] = None
+    top2_success: Optional[float] = None
+    range_query_count: int = 0
+    knn_query_count: int = 0
+    topk_sample_count: int = 0
+
+    def as_row(self, **extra) -> Dict[str, object]:
+        """Flatten into a table row (metrics rounded for printing)."""
+        row: Dict[str, object] = dict(extra)
+        for name in (
+            "range_kl_pf",
+            "range_kl_sm",
+            "knn_hit_pf",
+            "knn_hit_sm",
+            "top1_success",
+            "top2_success",
+        ):
+            value = getattr(self, name)
+            row[name] = None if value is None else round(value, 4)
+        return row
+
+
+def query_timestamps(config: SimulationConfig) -> List[int]:
+    """Evenly spaced evaluation timestamps after warm-up."""
+    start = config.warmup_seconds
+    end = config.warmup_seconds + config.duration_seconds
+    points = np.linspace(start, end, config.num_query_timestamps)
+    return sorted(set(int(round(p)) for p in points))
+
+
+def evaluate_accuracy(
+    config: SimulationConfig,
+    measure_range: bool = True,
+    measure_knn: bool = True,
+    measure_topk: bool = True,
+    simulation: Optional[Simulation] = None,
+) -> AccuracyReport:
+    """Run one simulation and measure the requested metrics.
+
+    The object universe for every metric is the set of objects the
+    collector has observed at evaluation time (after warm-up this is all
+    objects); ground truth is restricted to the same universe so P and Q
+    compare like for like.
+    """
+    sim = simulation if simulation is not None else Simulation(config)
+    report = AccuracyReport(config=config)
+
+    kl_pf: List[Optional[float]] = []
+    kl_sm: List[Optional[float]] = []
+    hit_pf: List[float] = []
+    hit_sm: List[float] = []
+    top1: List[bool] = []
+    top2: List[bool] = []
+
+    for timestamp in query_timestamps(config):
+        sim.run_until(timestamp)
+        positions = sim.true_positions()
+        locations = sim.true_locations()
+        universe = set(sim.pf_engine.collector.observed_objects())
+        if not universe:
+            continue
+
+        windows = (
+            sim.random_windows(config.num_range_queries) if measure_range else []
+        )
+        points = (
+            sim.random_query_points(config.num_knn_queries) if measure_knn else []
+        )
+
+        sim.pf_engine.clear_queries()
+        sim.sm_engine.clear_queries()
+        range_queries = [
+            RangeQuery(f"r{i}", window) for i, window in enumerate(windows)
+        ]
+        knn_queries = [
+            KNNQuery(f"k{i}", point, config.k) for i, point in enumerate(points)
+        ]
+        for query in range_queries:
+            sim.pf_engine.register_range_query(query)
+            sim.sm_engine.register_range_query(query)
+        for query in knn_queries:
+            sim.pf_engine.register_knn_query(query)
+            sim.sm_engine.register_knn_query(query)
+
+        pf_snapshot = sim.pf_engine.evaluate(timestamp, rng=sim.pf_rng)
+        sm_snapshot = sim.sm_engine.evaluate(timestamp)
+
+        known_positions = {
+            obj: pos for obj, pos in positions.items() if obj in universe
+        }
+        known_locations = {
+            obj: loc for obj, loc in locations.items() if obj in universe
+        }
+
+        for query in range_queries:
+            truth = true_range_result(query.window, known_positions)
+            kl_pf.append(
+                range_query_kl(
+                    truth,
+                    pf_snapshot.range_results[query.query_id].probabilities,
+                    universe,
+                    epsilon=config.kl_epsilon,
+                )
+            )
+            kl_sm.append(
+                range_query_kl(
+                    truth,
+                    sm_snapshot.range_results[query.query_id].probabilities,
+                    universe,
+                    epsilon=config.kl_epsilon,
+                )
+            )
+
+        for query in knn_queries:
+            truth = true_knn_result(query.point, known_locations, sim.graph, config.k)
+            if not truth:
+                continue
+            pf_returned = pf_snapshot.knn_results[query.query_id].objects()
+            sm_returned = sm_snapshot.knn_results[query.query_id].top(config.k)
+            hit_pf.append(knn_hit_rate(pf_returned, truth))
+            hit_sm.append(knn_hit_rate(sm_returned, truth))
+
+        if measure_topk:
+            table = sim.pf_engine.locations_snapshot(timestamp, rng=sim.pf_rng)
+            for object_id in sorted(universe):
+                distribution = table.distribution_of(object_id)
+                truth_point = positions[object_id]
+                top1.append(
+                    top_k_success(
+                        distribution, truth_point, sim.anchor_index, 1,
+                        tolerance=config.topk_tolerance,
+                    )
+                )
+                top2.append(
+                    top_k_success(
+                        distribution, truth_point, sim.anchor_index, 2,
+                        tolerance=config.topk_tolerance,
+                    )
+                )
+
+    report.range_kl_pf = mean_of(kl_pf)
+    report.range_kl_sm = mean_of(kl_sm)
+    report.knn_hit_pf = mean_of(hit_pf) if hit_pf else None
+    report.knn_hit_sm = mean_of(hit_sm) if hit_sm else None
+    report.top1_success = (sum(top1) / len(top1)) if top1 else None
+    report.top2_success = (sum(top2) / len(top2)) if top2 else None
+    report.range_query_count = len(kl_pf)
+    report.knn_query_count = len(hit_pf)
+    report.topk_sample_count = len(top1)
+    return report
+
+
+# ----------------------------------------------------------------------
+# figure sweeps
+# ----------------------------------------------------------------------
+FIGURE9_WINDOW_RATIOS = (0.01, 0.02, 0.03, 0.04, 0.05)
+FIGURE10_KS = (2, 3, 4, 5, 6, 7, 8, 9)
+FIGURE11_PARTICLES = (2, 4, 8, 16, 32, 64, 128, 256, 512)
+FIGURE12_OBJECTS = (200, 400, 600, 800, 1000)
+FIGURE13_RANGES = (0.5, 1.0, 1.5, 2.0, 2.5)
+
+
+def run_figure9(
+    config: SimulationConfig = DEFAULT_CONFIG,
+    window_ratios: Sequence[float] = FIGURE9_WINDOW_RATIOS,
+) -> List[Dict[str, object]]:
+    """Figure 9: effects of query window size on range-query KL."""
+    rows = []
+    for ratio in window_ratios:
+        report = evaluate_accuracy(
+            config.with_overrides(query_window_ratio=ratio),
+            measure_knn=False,
+            measure_topk=False,
+        )
+        rows.append(report.as_row(window_ratio=ratio))
+    return rows
+
+
+def run_figure10(
+    config: SimulationConfig = DEFAULT_CONFIG,
+    ks: Sequence[int] = FIGURE10_KS,
+) -> List[Dict[str, object]]:
+    """Figure 10: effects of k on kNN average hit rate."""
+    rows = []
+    for k in ks:
+        report = evaluate_accuracy(
+            config.with_overrides(k=k),
+            measure_range=False,
+            measure_topk=False,
+        )
+        rows.append(report.as_row(k=k))
+    return rows
+
+
+def run_figure11(
+    config: SimulationConfig = DEFAULT_CONFIG,
+    particle_counts: Sequence[int] = FIGURE11_PARTICLES,
+) -> List[Dict[str, object]]:
+    """Figure 11: effects of the number of particles (all three metrics)."""
+    rows = []
+    for count in particle_counts:
+        report = evaluate_accuracy(config.with_overrides(num_particles=count))
+        rows.append(report.as_row(num_particles=count))
+    return rows
+
+
+def run_figure12(
+    config: SimulationConfig = DEFAULT_CONFIG,
+    object_counts: Sequence[int] = FIGURE12_OBJECTS,
+) -> List[Dict[str, object]]:
+    """Figure 12: effects of the number of moving objects."""
+    rows = []
+    for count in object_counts:
+        report = evaluate_accuracy(config.with_overrides(num_objects=count))
+        rows.append(report.as_row(num_objects=count))
+    return rows
+
+
+def run_figure13(
+    config: SimulationConfig = DEFAULT_CONFIG,
+    activation_ranges: Sequence[float] = FIGURE13_RANGES,
+) -> List[Dict[str, object]]:
+    """Figure 13: effects of the reader activation range."""
+    rows = []
+    for activation_range in activation_ranges:
+        report = evaluate_accuracy(
+            config.with_overrides(activation_range=activation_range)
+        )
+        rows.append(report.as_row(activation_range=activation_range))
+    return rows
+
+
+def format_rows(rows: List[Dict[str, object]], title: str = "") -> str:
+    """Render sweep rows as an aligned text table (for bench output)."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    columns = list(rows[0].keys())
+    widths = {
+        c: max(len(str(c)), *(len(str(r.get(c))) for r in rows)) for c in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(c).ljust(widths[c]) for c in columns))
+    for row in rows:
+        lines.append(
+            "  ".join(str(row.get(c)).ljust(widths[c]) for c in columns)
+        )
+    return "\n".join(lines)

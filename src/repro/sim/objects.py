@@ -1,0 +1,38 @@
+"""Moving object state for the true trace generator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.graph.location import GraphLocation
+from repro.graph.routing import Route
+
+
+@dataclass
+class MovingObject:
+    """One simulated person: identity plus motion state.
+
+    The motion state machine is: walking a route toward a destination
+    room; on arrival, dwelling until ``dwell_until``; then picking a new
+    destination. ``progress`` is arc length consumed along ``route``.
+    """
+
+    object_id: str
+    tag_id: str
+    location: GraphLocation
+    route: Optional[Route] = None
+    progress: float = 0.0
+    speed: float = 1.0
+    dwell_until: int = 0
+    destination_room: Optional[str] = None
+
+    @property
+    def is_walking(self) -> bool:
+        """True while following a route."""
+        return self.route is not None
+
+    @property
+    def is_dwelling(self) -> bool:
+        """True while paused inside a room."""
+        return self.route is None

@@ -1,0 +1,164 @@
+"""Scenario generators: populations that change over time.
+
+The paper's evaluation keeps a fixed population walking from the first
+second. Its motivating settings (Section 1 — subway stations, malls)
+have people *arriving and leaving*: the tracking system must cope with
+objects it has never observed and objects whose readings went stale
+because they left. :class:`ArrivalTraceGenerator` extends the true trace
+generator with an arrival schedule and optional departures through entry
+points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import SimulationConfig
+from repro.geometry import Point
+from repro.graph.routing import plan_route
+from repro.graph.walking_graph import WalkingGraph
+from repro.rng import RngLike
+from repro.sim.objects import MovingObject
+from repro.sim.trace import TrueTraceGenerator
+
+
+@dataclass(frozen=True)
+class ArrivalEvent:
+    """``count`` objects entering at ``second`` through an entry point."""
+
+    second: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.second < 0:
+            raise ValueError("second must be non-negative")
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+
+
+class ArrivalTraceGenerator(TrueTraceGenerator):
+    """True traces with staggered arrivals (and optional departures).
+
+    ``entry_points`` are 2-D positions (snapped to the walking graph)
+    where newcomers appear — typically hallway ends near building doors.
+    ``departure_after`` (seconds, optional) makes each object head back
+    to an entry point once its time is up and vanish on arrival.
+    """
+
+    def __init__(
+        self,
+        graph: WalkingGraph,
+        config: SimulationConfig,
+        arrivals: Sequence[ArrivalEvent],
+        entry_points: Sequence[Point],
+        rng: RngLike = None,
+        departure_after: Optional[int] = None,
+    ):
+        if not entry_points:
+            raise ValueError("at least one entry point is required")
+        if departure_after is not None and departure_after < 1:
+            raise ValueError("departure_after must be >= 1 when given")
+        # Start with an empty population; arrivals add everyone.
+        super().__init__(graph, config, rng=rng, num_objects=0)
+        self._entry_locations = [graph.locate(p)[0] for p in entry_points]
+        self._arrivals = sorted(arrivals, key=lambda a: a.second)
+        self._next_arrival = 0
+        self._spawned = 0
+        self.departure_after = departure_after
+        self._entered_at: Dict[str, int] = {}
+        self._leaving: Dict[str, bool] = {}
+        self.departed: List[str] = []
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance one second: arrivals, walks, departures."""
+        super().step()
+        self._spawn_due_arrivals()
+        if self.departure_after is not None:
+            self._process_departures()
+
+    def _spawn_due_arrivals(self) -> None:
+        while (
+            self._next_arrival < len(self._arrivals)
+            and self._arrivals[self._next_arrival].second <= self.now
+        ):
+            event = self._arrivals[self._next_arrival]
+            for _ in range(event.count):
+                self._spawned += 1
+                entry = self._entry_locations[
+                    self._rng.integers(0, len(self._entry_locations))
+                ]
+                obj = MovingObject(
+                    object_id=f"o{self._spawned}",
+                    tag_id=f"tag{self._spawned}",
+                    location=entry,
+                )
+                self._assign_destination(obj)
+                self.objects.append(obj)
+                self._entered_at[obj.object_id] = self.now
+            self._next_arrival += 1
+
+    def _process_departures(self) -> None:
+        remaining: List[MovingObject] = []
+        for obj in self.objects:
+            age = self.now - self._entered_at.get(obj.object_id, self.now)
+            if self._leaving.get(obj.object_id):
+                # Heading out: gone once the exit route is finished.
+                if obj.is_dwelling or (
+                    obj.route is not None
+                    and obj.progress >= obj.route.total_length
+                ):
+                    self.departed.append(obj.object_id)
+                    continue
+            elif age >= self.departure_after:
+                self._leaving[obj.object_id] = True
+                exit_loc = self._entry_locations[
+                    self._rng.integers(0, len(self._entry_locations))
+                ]
+                exit_point = self.graph.point_of(exit_loc)
+                exit_edge = self.graph.edge(exit_loc.edge_id)
+                # Route to the nearer endpoint node of the exit location's
+                # edge (entry points sit on hallway ends).
+                target = (
+                    exit_edge.node_a
+                    if exit_loc.offset < exit_edge.length / 2
+                    else exit_edge.node_b
+                )
+                obj.route = plan_route(self.graph, obj.location, target)
+                obj.progress = 0.0
+                obj.dwell_until = 0
+                obj.destination_room = None
+                del exit_point
+            remaining.append(obj)
+        self.objects[:] = remaining
+
+    # ------------------------------------------------------------------
+    @property
+    def population(self) -> int:
+        """Objects currently inside the building."""
+        return len(self.objects)
+
+    @property
+    def total_spawned(self) -> int:
+        """Objects that ever entered."""
+        return self._spawned
+
+
+def rush_hour_arrivals(
+    start: int, duration: int, total: int, burst_every: int = 5
+) -> List[ArrivalEvent]:
+    """A simple rush-hour schedule: even bursts over ``duration`` seconds."""
+    if total < 1:
+        raise ValueError("total must be >= 1")
+    if duration < 1 or burst_every < 1:
+        raise ValueError("duration and burst_every must be >= 1")
+    bursts = max(duration // burst_every, 1)
+    base = total // bursts
+    remainder = total - base * bursts
+    events = []
+    for i in range(bursts):
+        count = base + (1 if i < remainder else 0)
+        if count > 0:
+            events.append(ArrivalEvent(second=start + i * burst_every, count=count))
+    return events

@@ -1,0 +1,159 @@
+"""The complete simulator (paper Figure 8).
+
+Wires the true trace generator, the raw reading generator, the particle
+filter engine, the symbolic model engine, and ground truth together. The
+two query engines consume the *same* raw reading stream, and accuracy is
+judged against the same true traces.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import DEFAULT_CONFIG, SimulationConfig
+from repro.core.resampling import systematic_resample
+from repro.floorplan.plan import FloorPlan
+from repro.floorplan.presets import paper_office_plan
+from repro.geometry import Point, Rect
+from repro.graph.anchors import build_anchor_index
+from repro.graph.location import GraphLocation
+from repro.graph.walking_graph import build_walking_graph
+from repro.queries.engine import IndoorQueryEngine
+from repro.rfid.deployment import deploy_readers_uniform
+from repro.rfid.reader import RFIDReader
+from repro.rng import child_rng
+from repro.sim.readings_sim import RawReadingGenerator
+from repro.sim.trace import TrueTraceGenerator
+from repro.symbolic.engine import SymbolicQueryEngine
+
+
+class Simulation:
+    """One fully-wired simulation run over the paper's office floor."""
+
+    def __init__(
+        self,
+        config: SimulationConfig = DEFAULT_CONFIG,
+        plan: Optional[FloorPlan] = None,
+        readers: Optional[Sequence[RFIDReader]] = None,
+        use_cache: bool = True,
+        use_pruning: bool = True,
+        resampler=systematic_resample,
+        build_symbolic: bool = True,
+    ):
+        self.config = config
+        self.plan = plan if plan is not None else paper_office_plan()
+        self.graph = build_walking_graph(self.plan)
+        self.anchor_index = build_anchor_index(self.graph, config.anchor_spacing)
+        self.readers = (
+            list(readers)
+            if readers is not None
+            else deploy_readers_uniform(
+                self.plan, config.num_readers, config.activation_range
+            )
+        )
+
+        self.trace = TrueTraceGenerator(
+            self.graph, config, rng=child_rng(config.seed, "trace")
+        )
+        self.reading_generator = RawReadingGenerator(
+            self.readers,
+            detection_probability=config.detection_probability,
+            samples_per_second=config.samples_per_second,
+            rng=child_rng(config.seed, "readings"),
+        )
+
+        tag_to_object = self.trace.tag_to_object()
+        self.pf_engine = IndoorQueryEngine(
+            self.plan,
+            self.readers,
+            tag_to_object,
+            config=config,
+            graph=self.graph,
+            anchor_index=self.anchor_index,
+            use_cache=use_cache,
+            use_pruning=use_pruning,
+            resampler=resampler,
+        )
+        self.sm_engine = (
+            SymbolicQueryEngine(
+                self.plan,
+                self.readers,
+                tag_to_object,
+                config=config,
+                graph=self.graph,
+                anchor_index=self.anchor_index,
+                use_pruning=use_pruning,
+            )
+            if build_symbolic
+            else None
+        )
+
+        self.pf_rng = child_rng(config.seed, "pf")
+        self._query_rng = child_rng(config.seed, "queries")
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """The current simulated second."""
+        return self.trace.now
+
+    def run_until(self, second: int) -> None:
+        """Advance the world (traces + readings + both collectors)."""
+        while self.trace.now < second:
+            self.trace.step()
+            readings = self.reading_generator.generate(
+                self.trace.now, self.trace.tag_positions()
+            )
+            self.pf_engine.ingest_second(self.trace.now, readings)
+            if self.sm_engine is not None:
+                self.sm_engine.ingest_second(self.trace.now, readings)
+
+    def run_for(self, seconds: int) -> None:
+        """Advance by a relative number of seconds."""
+        self.run_until(self.trace.now + seconds)
+
+    # ------------------------------------------------------------------
+    # truth accessors
+    # ------------------------------------------------------------------
+    def true_positions(self) -> Dict[str, Point]:
+        """Current true 2-D positions by object id."""
+        return self.trace.positions()
+
+    def true_locations(self) -> Dict[str, GraphLocation]:
+        """Current true graph locations by object id."""
+        return self.trace.locations()
+
+    # ------------------------------------------------------------------
+    # random query placement (paper Section 5.2 / 5.3)
+    # ------------------------------------------------------------------
+    def random_window(self, area_ratio: Optional[float] = None) -> Rect:
+        """A random square query window of the configured relative area."""
+        ratio = area_ratio if area_ratio is not None else self.config.query_window_ratio
+        bounds = self.plan.bounds
+        side = math.sqrt(ratio * bounds.area)
+        side = min(side, bounds.width, bounds.height)
+        x = self._query_rng.uniform(bounds.min_x, bounds.max_x - side)
+        y = self._query_rng.uniform(bounds.min_y, bounds.max_y - side)
+        return Rect(x, y, x + side, y + side)
+
+    def random_query_point(self) -> Point:
+        """A random indoor location on the walking graph."""
+        edges = self.graph.edges
+        lengths = [e.length for e in edges]
+        total = sum(lengths)
+        draw = self._query_rng.uniform(0.0, total)
+        consumed = 0.0
+        for edge, length in zip(edges, lengths):
+            consumed += length
+            if draw <= consumed:
+                return edge.point_at(draw - (consumed - length))
+        return edges[-1].point_at(lengths[-1])
+
+    def random_windows(self, count: int, area_ratio: Optional[float] = None) -> List[Rect]:
+        """``count`` random windows."""
+        return [self.random_window(area_ratio) for _ in range(count)]
+
+    def random_query_points(self, count: int) -> List[Point]:
+        """``count`` random query points."""
+        return [self.random_query_point() for _ in range(count)]

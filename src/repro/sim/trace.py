@@ -1,0 +1,138 @@
+"""True trace generator (paper Section 5.1).
+
+"We let each object randomly select a room as its destination, and walk
+along the shortest path on the indoor walking graph from its current
+location to the destination node. We simulate the objects' speeds using a
+Gaussian distribution with mu = 1 m/s and sigma = 0.1."
+
+On arrival, objects dwell in the destination room for a uniform random
+time before picking a new destination — without dwell every object would
+be in a hallway almost always, which neither matches offices nor exercises
+the room-probability parts of the query algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.config import SimulationConfig
+from repro.geometry import Point
+from repro.graph.location import GraphLocation
+from repro.graph.routing import plan_route
+from repro.graph.walking_graph import WalkingGraph
+from repro.rng import RngLike, make_rng
+from repro.sim.objects import MovingObject
+
+
+class TrueTraceGenerator:
+    """Drives all moving objects, one second at a time."""
+
+    def __init__(
+        self,
+        graph: WalkingGraph,
+        config: SimulationConfig,
+        rng: RngLike = None,
+        num_objects: int = None,
+    ):
+        self.graph = graph
+        self.config = config
+        self._rng = make_rng(rng)
+        self._now = 0
+        count = num_objects if num_objects is not None else config.num_objects
+        self.objects: List[MovingObject] = [
+            self._spawn(index) for index in range(1, count + 1)
+        ]
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """The current simulated second."""
+        return self._now
+
+    def step(self) -> None:
+        """Advance every object by one second."""
+        self._now += 1
+        for obj in self.objects:
+            self._step_object(obj)
+
+    def locations(self) -> Dict[str, GraphLocation]:
+        """Current true graph locations, by object id."""
+        return {obj.object_id: obj.location for obj in self.objects}
+
+    def positions(self) -> Dict[str, Point]:
+        """Current true 2-D positions, by object id."""
+        return {
+            obj.object_id: self.graph.point_of(obj.location)
+            for obj in self.objects
+        }
+
+    def tag_positions(self) -> Dict[str, Point]:
+        """Current true 2-D positions, by tag id (for the reading generator)."""
+        return {
+            obj.tag_id: self.graph.point_of(obj.location)
+            for obj in self.objects
+        }
+
+    def tag_to_object(self) -> Dict[str, str]:
+        """The tag -> object id mapping."""
+        return {obj.tag_id: obj.object_id for obj in self.objects}
+
+    # ------------------------------------------------------------------
+    def _spawn(self, index: int) -> MovingObject:
+        """Create one object at a random location, already heading somewhere."""
+        edge = self._random_edge()
+        offset = self._rng.uniform(0.0, edge.length)
+        obj = MovingObject(
+            object_id=f"o{index}",
+            tag_id=f"tag{index}",
+            location=GraphLocation(edge.edge_id, offset),
+        )
+        self._assign_destination(obj)
+        return obj
+
+    def _random_edge(self):
+        """An edge sampled proportionally to its length."""
+        edges = self.graph.edges
+        lengths = [e.length for e in edges]
+        total = sum(lengths)
+        draw = self._rng.uniform(0.0, total)
+        consumed = 0.0
+        for edge, length in zip(edges, lengths):
+            consumed += length
+            if draw <= consumed:
+                return edge
+        return edges[-1]
+
+    def _assign_destination(self, obj: MovingObject) -> None:
+        """Pick a random destination room and plan the shortest route."""
+        rooms = self.graph.room_ids()
+        choices = [r for r in rooms if r != obj.destination_room] or rooms
+        room_id = choices[self._rng.integers(0, len(choices))]
+        obj.destination_room = room_id
+        obj.route = plan_route(
+            self.graph, obj.location, self.graph.room_node(room_id)
+        )
+        obj.progress = 0.0
+        obj.speed = float(
+            max(
+                self._rng.normal(self.config.speed_mean, self.config.speed_std),
+                0.1,
+            )
+        )
+
+    def _step_object(self, obj: MovingObject) -> None:
+        if obj.is_dwelling:
+            if self._now >= obj.dwell_until:
+                self._assign_destination(obj)
+            return
+        obj.progress += obj.speed
+        route = obj.route
+        if obj.progress >= route.total_length:
+            obj.location = route.end
+            obj.route = None
+            dwell = self._rng.uniform(
+                self.config.min_dwell_seconds, self.config.max_dwell_seconds
+            )
+            obj.dwell_until = self._now + int(round(dwell))
+        else:
+            obj.location = route.location_at(obj.progress)

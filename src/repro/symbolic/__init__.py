@@ -1,0 +1,23 @@
+"""Symbolic model-based location inference (paper Section 3.3).
+
+The baseline the paper compares against (Yang et al. [29, 30]): an
+object's position is assumed *uniformly distributed over all reachable
+locations* constrained by its maximum speed, where reachability is
+expressed on a *deployment graph* whose vertices are cells — maximal
+regions of the indoor space traversable without being detected by any
+positioning device.
+"""
+
+from repro.symbolic.cells import Cell, DeploymentGraph, build_deployment_graph
+from repro.symbolic.devices import DeviceType
+from repro.symbolic.inference import SymbolicLocationModel
+from repro.symbolic.engine import SymbolicQueryEngine
+
+__all__ = [
+    "Cell",
+    "DeploymentGraph",
+    "build_deployment_graph",
+    "DeviceType",
+    "SymbolicLocationModel",
+    "SymbolicQueryEngine",
+]

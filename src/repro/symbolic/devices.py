@@ -1,0 +1,29 @@
+"""Positioning device classification (paper Section 3.3).
+
+The deployment-graph model distinguishes three device types:
+
+* *undirected partitioning device* — separates two (or more) cells but
+  cannot tell which way an object crossed;
+* *directed partitioning device* — an entry/exit pair whose reading order
+  reveals the crossing direction;
+* *presence device* — senses objects within its range without
+  partitioning the space.
+
+With readers deployed along hallways (this paper's setting) devices are
+classified from the cell structure: a reader whose coverage borders two
+or more cells partitions them; a reader buried inside a single cell is a
+presence device. Directed pairs are declared explicitly by the deployment
+(none exist in the paper's evaluation deployment).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class DeviceType(Enum):
+    """How a positioning device relates to the cell structure."""
+
+    UNDIRECTED_PARTITIONING = "undirected_partitioning"
+    DIRECTED_PARTITIONING = "directed_partitioning"
+    PRESENCE = "presence"

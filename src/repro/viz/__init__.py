@@ -1,0 +1,10 @@
+"""Text-mode visualization of floor plans, deployments, and distributions.
+
+Dependency-free ASCII rendering for debugging and for the examples:
+rooms, hallways, readers, true object positions, query windows, and
+anchor-point probability heat maps all composable onto one grid.
+"""
+
+from repro.viz.ascii_map import AsciiCanvas, render_distribution, render_floorplan
+
+__all__ = ["AsciiCanvas", "render_floorplan", "render_distribution"]

@@ -1,0 +1,166 @@
+"""ASCII canvas for floor plans and probability distributions."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+from repro.floorplan.plan import FloorPlan
+from repro.geometry import Point, Rect
+from repro.graph.anchors import AnchorIndex
+from repro.rfid.reader import RFIDReader
+
+#: Probability shading ramp, light to heavy.
+_HEAT = " .:-=+*#%@"
+
+
+class AsciiCanvas:
+    """A character grid mapped onto a floor plan's bounding box.
+
+    Layers are painted in call order; later paints overwrite earlier
+    characters at the same cell. ``str(canvas)`` (or :meth:`render`)
+    yields the drawing with the y axis pointing up, matching plan
+    coordinates.
+    """
+
+    def __init__(self, plan: FloorPlan, columns: int = 96):
+        if columns < 16:
+            raise ValueError(f"columns must be >= 16, got {columns}")
+        self.plan = plan
+        bounds = plan.bounds
+        self.columns = columns
+        self._sx = bounds.width / (columns - 1)
+        # Terminal cells are ~2x taller than wide; halve the row density.
+        self.rows = max(int(round(bounds.height / (2.0 * self._sx))) + 1, 4)
+        self._sy = bounds.height / (self.rows - 1)
+        self._grid = [[" "] * columns for _ in range(self.rows)]
+
+    # ------------------------------------------------------------------
+    # coordinate mapping
+    # ------------------------------------------------------------------
+    def cell_of(self, point: Point) -> Optional[tuple]:
+        """Grid cell of a plan point, or None when outside the bounds."""
+        bounds = self.plan.bounds
+        if not bounds.expanded(1e-9).contains(point):
+            return None
+        col = int(round((point.x - bounds.min_x) / self._sx))
+        row = int(round((point.y - bounds.min_y) / self._sy))
+        return min(row, self.rows - 1), min(col, self.columns - 1)
+
+    def cell_center(self, row: int, col: int) -> Point:
+        """Plan coordinates of a grid cell's center."""
+        bounds = self.plan.bounds
+        return Point(bounds.min_x + col * self._sx, bounds.min_y + row * self._sy)
+
+    # ------------------------------------------------------------------
+    # layers
+    # ------------------------------------------------------------------
+    def paint_floorplan(self) -> "AsciiCanvas":
+        """Base layer: hallways as ``:``, rooms as ``.``, walls blank."""
+        for row in range(self.rows):
+            for col in range(self.columns):
+                point = self.cell_center(row, col)
+                if self.plan.hallway_at(point) is not None:
+                    self._grid[row][col] = ":"
+                elif self.plan.room_at(point) is not None:
+                    self._grid[row][col] = "."
+        return self
+
+    def paint_readers(self, readers: Iterable[RFIDReader]) -> "AsciiCanvas":
+        """Mark reader positions with ``R``."""
+        for reader in readers:
+            self.put(reader.position, "R")
+        return self
+
+    def paint_points(
+        self, positions: Mapping[str, Point], symbol: str = "o"
+    ) -> "AsciiCanvas":
+        """Mark object positions (e.g. the true trace) with ``symbol``."""
+        for position in positions.values():
+            self.put(position, symbol)
+        return self
+
+    def paint_rect(self, rect: Rect, symbol: str = "+") -> "AsciiCanvas":
+        """Outline a rectangle (e.g. a query window)."""
+        steps = max(self.columns, self.rows)
+        for i in range(steps + 1):
+            t = i / steps
+            for edge_point in (
+                Point(rect.min_x + t * rect.width, rect.min_y),
+                Point(rect.min_x + t * rect.width, rect.max_y),
+                Point(rect.min_x, rect.min_y + t * rect.height),
+                Point(rect.max_x, rect.min_y + t * rect.height),
+            ):
+                self.put(edge_point, symbol)
+        return self
+
+    def paint_distribution(
+        self, distribution: Mapping[int, float], anchor_index: AnchorIndex
+    ) -> "AsciiCanvas":
+        """Shade anchor probabilities with the heat ramp.
+
+        Cell intensity accumulates when several anchors fall into one
+        cell, then the whole layer is normalized to the ramp.
+        """
+        heat: Dict[tuple, float] = {}
+        for ap_id, mass in distribution.items():
+            cell = self.cell_of(anchor_index.anchor(ap_id).point)
+            if cell is not None:
+                heat[cell] = heat.get(cell, 0.0) + mass
+        if not heat:
+            return self
+        peak = max(heat.values())
+        for (row, col), mass in heat.items():
+            level = int(round(mass / peak * (len(_HEAT) - 1)))
+            if level > 0:
+                self._grid[row][col] = _HEAT[level]
+        return self
+
+    def put(self, point: Point, symbol: str) -> "AsciiCanvas":
+        """Place one character at a plan coordinate (ignored off-canvas)."""
+        if len(symbol) != 1:
+            raise ValueError(f"symbol must be a single character, got {symbol!r}")
+        cell = self.cell_of(point)
+        if cell is not None:
+            row, col = cell
+            self._grid[row][col] = symbol
+        return self
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """The drawing, top row = max y."""
+        return "\n".join("".join(row).rstrip() for row in reversed(self._grid))
+
+    def __str__(self) -> str:  # pragma: no cover - delegates
+        return self.render()
+
+
+def render_floorplan(
+    plan: FloorPlan,
+    readers: Sequence[RFIDReader] = (),
+    positions: Optional[Mapping[str, Point]] = None,
+    columns: int = 96,
+) -> str:
+    """One-call rendering: plan + readers + optional object positions."""
+    canvas = AsciiCanvas(plan, columns=columns).paint_floorplan()
+    canvas.paint_readers(readers)
+    if positions:
+        canvas.paint_points(positions)
+    return canvas.render()
+
+
+def render_distribution(
+    plan: FloorPlan,
+    anchor_index: AnchorIndex,
+    distribution: Mapping[int, float],
+    true_position: Optional[Point] = None,
+    columns: int = 96,
+) -> str:
+    """Render one object's anchor distribution as a heat map.
+
+    The optional true position is marked ``X`` on top of the heat layer.
+    """
+    canvas = AsciiCanvas(plan, columns=columns).paint_floorplan()
+    canvas.paint_distribution(distribution, anchor_index)
+    if true_position is not None:
+        canvas.put(true_position, "X")
+    return canvas.render()

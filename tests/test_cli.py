@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_experiment_figure_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestSimulate:
+    def test_exports_world_and_log(self, tmp_path, capsys):
+        readings = tmp_path / "readings.csv"
+        plan = tmp_path / "plan.json"
+        deployment = tmp_path / "deployment.json"
+        code = main(
+            [
+                "simulate",
+                "--objects", "8",
+                "--seconds", "20",
+                "--seed", "5",
+                "--readings", str(readings),
+                "--plan", str(plan),
+                "--deployment", str(deployment),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "simulated 20 s" in out
+        assert readings.exists()
+        assert json.loads(plan.read_text())["format"] == "repro-floorplan"
+        assert json.loads(deployment.read_text())["format"] == "repro-deployment"
+
+    def test_render_flag(self, capsys):
+        code = main(["simulate", "--objects", "5", "--seconds", "5", "--render"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert ":" in out  # hallway cells in the rendering
+
+
+class TestRender:
+    def test_default_plan(self, capsys):
+        assert main(["render", "--columns", "60"]) == 0
+        out = capsys.readouterr().out
+        assert ":" in out
+        assert "." in out
+
+    def test_roundtrip_through_files(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        deployment = tmp_path / "deployment.json"
+        main(
+            [
+                "simulate", "--objects", "3", "--seconds", "3",
+                "--plan", str(plan), "--deployment", str(deployment),
+            ]
+        )
+        capsys.readouterr()
+        assert main(
+            ["render", "--plan", str(plan), "--deployment", str(deployment)]
+        ) == 0
+        assert "R" in capsys.readouterr().out
+
+
+class TestExperiment:
+    def test_fig9_small(self, tmp_path, capsys):
+        out_csv = tmp_path / "rows.csv"
+        out_json = tmp_path / "rows.json"
+        code = main(
+            [
+                "experiment", "fig9",
+                "--objects", "10",
+                "--seconds", "40",
+                "--seed", "2",
+                "--out-csv", str(out_csv),
+                "--out-json", str(out_json),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "range_kl_pf" in printed
+        assert out_csv.read_text().startswith("window_ratio")
+        rows = json.loads(out_json.read_text())
+        assert len(rows) == 5
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "range query" in out
+        assert "3NN" in out

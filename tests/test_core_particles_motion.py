@@ -1,0 +1,227 @@
+"""Tests for the particle set, compiled graph, and graph motion model."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompiledAnchors, CompiledGraph, GraphMotionModel, ParticleSet
+from repro.geometry import Circle, Point
+
+
+@pytest.fixture(scope="module")
+def small_compiled(small_graph):
+    return CompiledGraph(small_graph)
+
+
+@pytest.fixture(scope="module")
+def paper_compiled(paper_graph):
+    return CompiledGraph(paper_graph)
+
+
+class TestParticleSet:
+    def test_empty_allocation(self):
+        ps = ParticleSet.empty(8)
+        assert len(ps) == 8
+        assert ps.weight.sum() == pytest.approx(1.0)
+
+    def test_field_length_mismatch_rejected(self):
+        ps = ParticleSet.empty(4)
+        with pytest.raises(ValueError):
+            ParticleSet(
+                edge=ps.edge,
+                offset=ps.offset[:2],
+                direction=ps.direction,
+                speed=ps.speed,
+                dwelling=ps.dwelling,
+                weight=ps.weight,
+            )
+
+    def test_copy_is_deep(self):
+        ps = ParticleSet.empty(4)
+        clone = ps.copy()
+        clone.offset[0] = 99.0
+        assert ps.offset[0] == 0.0
+
+    def test_select_uniform_weights(self):
+        ps = ParticleSet.empty(4)
+        ps.offset[:] = [0.0, 1.0, 2.0, 3.0]
+        picked = ps.select(np.array([3, 3, 1, 0]))
+        assert list(picked.offset) == [3.0, 3.0, 1.0, 0.0]
+        assert np.allclose(picked.weight, 0.25)
+
+    def test_normalize_weights(self):
+        ps = ParticleSet.empty(4)
+        ps.weight[:] = [1.0, 1.0, 2.0, 0.0]
+        ps.normalize_weights()
+        assert ps.weight.sum() == pytest.approx(1.0)
+        assert ps.weight[2] == pytest.approx(0.5)
+
+    def test_normalize_zero_weights_falls_back_to_uniform(self):
+        ps = ParticleSet.empty(4)
+        ps.weight[:] = 0.0
+        ps.normalize_weights()
+        assert np.allclose(ps.weight, 0.25)
+
+
+class TestCompiledGraph:
+    def test_rejects_sparse_edge_ids(self, small_graph):
+        # CompiledGraph assumes dense ids; the builder provides them.
+        compiled = CompiledGraph(small_graph)
+        assert compiled.num_edges == len(small_graph.edges)
+
+    def test_points_match_edge_point_at(self, paper_compiled, paper_graph):
+        rng = np.random.default_rng(0)
+        edges = rng.integers(0, paper_compiled.num_edges, size=200)
+        offsets = rng.random(200) * paper_compiled.edge_length[edges]
+        xs, ys = paper_compiled.points(edges, offsets)
+        for e, off, x, y in zip(edges, offsets, xs, ys):
+            expected = paper_graph.edge(int(e)).point_at(float(off))
+            assert expected.is_close(Point(float(x), float(y)), tol=1e-6)
+
+    def test_points_on_door_edges_cross_legs(self, paper_compiled, paper_graph):
+        door = paper_graph.door_edge("R20")
+        offsets = np.linspace(0, door.length, 15)
+        edges = np.full(15, door.edge_id, dtype=np.int64)
+        xs, ys = paper_compiled.points(edges, offsets)
+        for off, x, y in zip(offsets, xs, ys):
+            expected = door.point_at(float(off))
+            assert expected.is_close(Point(float(x), float(y)), tol=1e-6)
+
+    def test_node_indexing(self, paper_compiled, paper_graph):
+        for node in paper_graph.nodes[:10]:
+            idx = paper_compiled.node_index[node.node_id]
+            assert paper_compiled.node_x[idx] == pytest.approx(node.point.x)
+            assert paper_compiled.node_is_room[idx] == node.is_room
+
+
+class TestCompiledAnchors:
+    def test_nearest_matches_index(self, paper_compiled, paper_anchors):
+        compiled = CompiledAnchors(paper_anchors)
+        rng = np.random.default_rng(1)
+        xs = rng.uniform(0, 60, 50)
+        ys = rng.uniform(0, 30, 50)
+        fast = compiled.nearest(xs, ys)
+        for x, y, ap_id in zip(xs, ys, fast):
+            expected = paper_anchors.nearest(Point(x, y))
+            got = paper_anchors.anchor(int(ap_id))
+            assert got.point.distance_to(Point(x, y)) == pytest.approx(
+                expected.point.distance_to(Point(x, y)), abs=1e-9
+            )
+
+
+class TestMotionModel:
+    def _model(self, compiled, **kwargs):
+        return GraphMotionModel(compiled, **kwargs)
+
+    def test_initialize_within_circle(self, small_compiled, rng):
+        model = self._model(small_compiled)
+        circle = Circle(Point(10, 5), 2.0)
+        ps = model.initialize_in_circle(64, circle, rng)
+        xs, ys = small_compiled.points(ps.edge, ps.offset)
+        for x, y in zip(xs, ys):
+            assert circle.contains(Point(x, y)) or circle.center.distance_to(
+                Point(x, y)
+            ) <= circle.radius + 0.2  # jitter slack
+
+    def test_initialize_off_graph_collapses_to_nearest(self, small_compiled, rng):
+        model = self._model(small_compiled)
+        circle = Circle(Point(100, 100), 0.5)
+        ps = model.initialize_in_circle(16, circle, rng)
+        assert len(np.unique(ps.edge)) == 1
+
+    def test_speeds_positive_and_near_mean(self, small_compiled, rng):
+        model = self._model(small_compiled)
+        speeds = model.draw_speeds(2000, rng)
+        assert (speeds > 0).all()
+        assert abs(speeds.mean() - 1.0) < 0.02
+        assert abs(speeds.std() - 0.1) < 0.02
+
+    def test_step_keeps_particles_on_graph(self, paper_compiled, rng):
+        model = self._model(paper_compiled)
+        circle = Circle(Point(20, 5), 2.0)
+        ps = model.initialize_in_circle(128, circle, rng)
+        for _ in range(30):
+            model.step(ps, rng)
+            lengths = paper_compiled.edge_length[ps.edge]
+            assert (ps.offset >= -1e-9).all()
+            assert (ps.offset <= lengths + 1e-9).all()
+            assert np.isin(ps.direction, [-1, 1]).all()
+
+    def test_step_distance_bounded_by_speed(self, small_compiled, rng):
+        model = self._model(small_compiled, room_exit_probability=0.0)
+        circle = Circle(Point(10, 5), 2.0)
+        ps = model.initialize_in_circle(64, circle, rng)
+        x0, y0 = small_compiled.points(ps.edge, ps.offset)
+        model.step(ps, rng, dt=1.0)
+        x1, y1 = small_compiled.points(ps.edge, ps.offset)
+        moved = np.hypot(x1 - x0, y1 - y0)
+        # Straight-line displacement can never exceed the walked distance.
+        assert (moved <= ps.speed + 1e-6).all()
+
+    def test_particles_eventually_enter_and_dwell_in_rooms(self, small_compiled, rng):
+        model = self._model(small_compiled, door_entry_probability=0.5)
+        circle = Circle(Point(10, 5), 2.0)
+        ps = model.initialize_in_circle(64, circle, rng)
+        for _ in range(40):
+            model.step(ps, rng)
+        assert ps.dwelling.any()
+
+    def test_no_door_entry_means_no_dwelling(self, small_compiled, rng):
+        model = self._model(small_compiled, door_entry_probability=0.0)
+        circle = Circle(Point(10, 5), 2.0)
+        ps = model.initialize_in_circle(64, circle, rng)
+        for _ in range(40):
+            model.step(ps, rng)
+        assert not ps.dwelling.any()
+
+    def test_room_exit_zero_traps_dwellers(self, small_compiled, rng):
+        model = self._model(
+            small_compiled, door_entry_probability=1.0, room_exit_probability=0.0
+        )
+        circle = Circle(Point(10, 5), 2.0)
+        ps = model.initialize_in_circle(64, circle, rng)
+        for _ in range(60):
+            model.step(ps, rng)
+        assert ps.dwelling.all()
+
+    def test_room_exit_one_releases_quickly(self, small_compiled, rng):
+        model = self._model(
+            small_compiled, door_entry_probability=0.0, room_exit_probability=1.0
+        )
+        circle = Circle(Point(10, 5), 2.0)
+        ps = model.initialize_in_circle(32, circle, rng)
+        ps.dwelling[:] = True
+        # Park everyone on a door edge at its room end.
+        door = small_compiled.graph.door_edge("R1")
+        ps.edge[:] = door.edge_id
+        ps.offset[:] = door.length
+        model.step(ps, rng)
+        assert not ps.dwelling.any()
+
+    def test_dead_end_reverses(self, small_compiled, rng):
+        # Small plan's hallway endpoints are dead ends (degree 1).
+        model = self._model(small_compiled, door_entry_probability=0.0)
+        ps = ParticleSet.empty(1)
+        # Hallway edge touching x=0 endpoint; send the particle left.
+        graph = small_compiled.graph
+        loc, _ = graph.locate(Point(0.5, 5))
+        ps.edge[:] = loc.edge_id
+        ps.offset[:] = loc.offset
+        edge = graph.edge(loc.edge_id)
+        left_is_a = edge.path.start.x < edge.path.end.x
+        ps.direction[:] = -1 if left_is_a else 1
+        ps.speed[:] = 1.0
+        model.step(ps, rng)
+        x, _ = small_compiled.points(ps.edge, ps.offset)
+        assert x[0] >= 0.0
+        # After bouncing, the particle heads back into the hallway.
+        model.step(ps, rng)
+        x2, _ = small_compiled.points(ps.edge, ps.offset)
+        assert x2[0] > x[0] - 1e-9
+
+    def test_rejects_bad_parameters(self, small_compiled):
+        with pytest.raises(ValueError):
+            GraphMotionModel(small_compiled, speed_mean=0.0)
+        with pytest.raises(ValueError):
+            GraphMotionModel(small_compiled, room_exit_probability=1.5)
+        with pytest.raises(ValueError):
+            GraphMotionModel(small_compiled, door_entry_probability=-0.1)

@@ -1,0 +1,127 @@
+"""Tests for resampling algorithms (paper Algorithm 1 and alternatives)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    effective_sample_size,
+    multinomial_resample,
+    residual_resample,
+    stratified_resample,
+    systematic_resample,
+)
+from repro.core.resampling import RESAMPLERS
+
+ALL = list(RESAMPLERS.values())
+
+
+def weight_arrays():
+    return st.lists(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        min_size=1,
+        max_size=64,
+    ).filter(lambda ws: sum(ws) > 1e-9).map(np.array)
+
+
+@pytest.mark.parametrize("resampler", ALL, ids=list(RESAMPLERS))
+class TestCommonProperties:
+    def test_output_length_default(self, resampler):
+        weights = np.array([0.25, 0.25, 0.5])
+        indices = resampler(weights, rng=0)
+        assert len(indices) == 3
+
+    def test_output_length_custom(self, resampler):
+        weights = np.array([0.25, 0.25, 0.5])
+        assert len(resampler(weights, 10, rng=0)) == 10
+
+    def test_indices_in_range(self, resampler):
+        weights = np.array([0.1, 0.2, 0.3, 0.4])
+        indices = resampler(weights, 100, rng=1)
+        assert indices.min() >= 0
+        assert indices.max() < 4
+
+    def test_zero_weight_never_selected(self, resampler):
+        weights = np.array([0.5, 0.0, 0.5])
+        indices = resampler(weights, 200, rng=2)
+        assert not (indices == 1).any()
+
+    def test_certain_weight_always_selected(self, resampler):
+        weights = np.array([0.0, 1.0, 0.0])
+        indices = resampler(weights, 50, rng=3)
+        assert (indices == 1).all()
+
+    def test_unnormalized_weights_accepted(self, resampler):
+        a = resampler(np.array([1.0, 3.0]), 1000, rng=4)
+        frac = (a == 1).mean()
+        assert 0.6 < frac < 0.9
+
+    def test_rejects_invalid(self, resampler):
+        with pytest.raises(ValueError):
+            resampler(np.array([]))
+        with pytest.raises(ValueError):
+            resampler(np.array([-1.0, 2.0]))
+        with pytest.raises(ValueError):
+            resampler(np.array([0.0, 0.0]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(weights=weight_arrays())
+    def test_replication_proportional_to_weight(self, resampler, weights):
+        n = 2000
+        indices = resampler(weights, n, rng=9)
+        counts = np.bincount(indices, minlength=len(weights))
+        expected = weights / weights.sum() * n
+        # Each count must be within a generous tolerance of expectation.
+        assert np.all(np.abs(counts - expected) <= 0.12 * n + 2)
+
+
+class TestSystematicSpecific:
+    def test_low_variance(self):
+        # Systematic resampling replicates deterministically up to +-1.
+        weights = np.array([0.1, 0.2, 0.3, 0.4])
+        indices = systematic_resample(weights, 100, rng=0)
+        counts = np.bincount(indices, minlength=4)
+        assert np.all(np.abs(counts - np.array([10, 20, 30, 40])) <= 1)
+
+    def test_deterministic_given_seed(self):
+        weights = np.array([0.5, 0.5])
+        a = systematic_resample(weights, 10, rng=7)
+        b = systematic_resample(weights, 10, rng=7)
+        assert np.array_equal(a, b)
+
+    def test_preserves_order(self):
+        # Systematic indices are non-decreasing by construction.
+        weights = np.array([0.2, 0.3, 0.1, 0.4])
+        indices = systematic_resample(weights, 50, rng=5)
+        assert np.all(np.diff(indices) >= 0)
+
+
+class TestResidualSpecific:
+    def test_guaranteed_copies(self):
+        weights = np.array([0.5, 0.25, 0.25])
+        indices = residual_resample(weights, 8, rng=0)
+        counts = np.bincount(indices, minlength=3)
+        # floor(8 * w) copies are guaranteed.
+        assert counts[0] >= 4
+        assert counts[1] >= 2
+        assert counts[2] >= 2
+
+    def test_exact_when_weights_divide(self):
+        weights = np.array([0.25, 0.75])
+        counts = np.bincount(residual_resample(weights, 8, rng=1), minlength=2)
+        assert list(counts) == [2, 6]
+
+
+class TestEffectiveSampleSize:
+    def test_uniform_weights(self):
+        assert effective_sample_size(np.ones(10) / 10) == pytest.approx(10.0)
+
+    def test_degenerate_weights(self):
+        weights = np.zeros(10)
+        weights[3] = 1.0
+        assert effective_sample_size(weights) == pytest.approx(1.0)
+
+    def test_between_bounds(self):
+        weights = np.array([0.7, 0.1, 0.1, 0.1])
+        ess = effective_sample_size(weights)
+        assert 1.0 < ess < 4.0

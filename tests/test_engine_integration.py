@@ -1,0 +1,145 @@
+"""Integration tests: the full Figure-3 pipeline on both engines."""
+
+import numpy as np
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.geometry import Point, Rect
+from repro.queries import IndoorQueryEngine, KNNQuery, RangeQuery
+from repro.rfid import RFIDReader
+from repro.rfid.readings import RawReading
+from repro.sim import Simulation
+from repro.symbolic import SymbolicQueryEngine
+
+CONFIG = DEFAULT_CONFIG.with_overrides(
+    num_objects=15,
+    duration_seconds=60,
+    warmup_seconds=30,
+    num_query_timestamps=3,
+    num_range_queries=4,
+    num_knn_queries=3,
+)
+
+
+@pytest.fixture(scope="module")
+def simulation():
+    sim = Simulation(CONFIG)
+    sim.run_until(60)
+    return sim
+
+
+class TestPfEngine:
+    def test_snapshot_structure(self, simulation):
+        engine = simulation.pf_engine
+        engine.clear_queries()
+        window = simulation.random_window()
+        point = simulation.random_query_point()
+        engine.register_range_query(RangeQuery("r0", window))
+        engine.register_knn_query(KNNQuery("k0", point, 3))
+        snapshot = engine.evaluate(60, rng=simulation.pf_rng)
+        assert snapshot.second == 60
+        assert "r0" in snapshot.range_results
+        assert "k0" in snapshot.knn_results
+        engine.clear_queries()
+
+    def test_range_probabilities_valid(self, simulation):
+        engine = simulation.pf_engine
+        result = engine.range_query(Rect(10, 3, 25, 8), 60, rng=simulation.pf_rng)
+        for probability in result.probabilities.values():
+            assert 0.0 <= probability <= 1.0 + 1e-9
+
+    def test_knn_returns_at_least_k(self, simulation):
+        engine = simulation.pf_engine
+        result = engine.knn_query(Point(20, 5), 3, 60, rng=simulation.pf_rng)
+        # With 15 objects spread around, the expansion should collect >= 3.
+        assert result.total_probability >= 3.0 or len(result.objects()) == len(
+            engine.collector.observed_objects()
+        )
+
+    def test_locations_snapshot_covers_observed(self, simulation):
+        engine = simulation.pf_engine
+        table = engine.locations_snapshot(60, rng=simulation.pf_rng)
+        observed = engine.collector.observed_objects()
+        assert set(table.objects()) <= set(observed)
+        for object_id in table.objects():
+            assert table.total_probability(object_id) == pytest.approx(1.0)
+
+    def test_cache_speeds_up_second_evaluation(self, simulation):
+        engine = simulation.pf_engine
+        assert engine.cache is not None
+        engine.locations_snapshot(60, rng=simulation.pf_rng)
+        hits_before = engine.cache.stats.hits
+        engine.locations_snapshot(60, rng=simulation.pf_rng)
+        assert engine.cache.stats.hits > hits_before
+
+    def test_pruning_reduces_candidates(self, simulation):
+        engine = simulation.pf_engine
+        engine.clear_queries()
+        engine.register_range_query(RangeQuery("tiny", Rect(10, 4, 12, 6)))
+        snapshot = engine.evaluate(60, rng=simulation.pf_rng)
+        engine.clear_queries()
+        assert len(snapshot.candidates) <= len(engine.collector.observed_objects())
+
+
+class TestSymbolicEngine:
+    def test_range_and_knn(self, simulation):
+        engine = simulation.sm_engine
+        result = engine.range_query(Rect(10, 3, 25, 8), 60)
+        for probability in result.probabilities.values():
+            assert 0.0 <= probability <= 1.0 + 1e-9
+        knn = engine.knn_query(Point(20, 5), 3, 60)
+        assert knn.total_probability >= 0.0
+
+    def test_deterministic(self, simulation):
+        engine = simulation.sm_engine
+        a = engine.range_query(Rect(10, 3, 25, 8), 60)
+        b = engine.range_query(Rect(10, 3, 25, 8), 60)
+        assert a.probabilities == b.probabilities
+
+
+class TestEngineStandalone:
+    """Engine fed with a hand-built reading stream (no simulator)."""
+
+    def _setup(self):
+        from repro.floorplan import small_test_plan
+
+        plan = small_test_plan()
+        readers = [
+            RFIDReader("d1", Point(3.0, 5.0), 2.0, "H1"),
+            RFIDReader("d2", Point(10.0, 5.0), 2.0, "H1"),
+            RFIDReader("d3", Point(17.0, 5.0), 2.0, "H1"),
+        ]
+        engine = IndoorQueryEngine(
+            plan, readers, {"tag1": "o1"}, config=DEFAULT_CONFIG
+        )
+        return engine
+
+    def test_tracked_object_found_near_last_reader(self):
+        engine = self._setup()
+        # Object walks right: d2 at t=0..1, d3 at t=7..8.
+        for second, reader in [(0, "d2"), (1, "d2"), (7, "d3"), (8, "d3")]:
+            engine.ingest_second(
+                second, [RawReading(second + 0.5, "tag1", reader)]
+            )
+        result = engine.range_query(Rect(15, 4, 20, 6), 8, rng=np.random.default_rng(0))
+        assert result.probabilities.get("o1", 0.0) > 0.5
+
+    def test_unseen_object_absent(self):
+        engine = self._setup()
+        result = engine.range_query(Rect(0, 0, 20, 10), 5, rng=np.random.default_rng(0))
+        assert result.probabilities == {}
+
+    def test_symbolic_engine_same_stream(self):
+        from repro.floorplan import small_test_plan
+
+        plan = small_test_plan()
+        readers = [
+            RFIDReader("d1", Point(3.0, 5.0), 2.0, "H1"),
+            RFIDReader("d2", Point(10.0, 5.0), 2.0, "H1"),
+            RFIDReader("d3", Point(17.0, 5.0), 2.0, "H1"),
+        ]
+        engine = SymbolicQueryEngine(plan, readers, {"tag1": "o1"})
+        for second, reader in [(0, "d2"), (1, "d2"), (7, "d3"), (8, "d3")]:
+            engine.ingest_second(second, [RawReading(second + 0.5, "tag1", reader)])
+        result = engine.range_query(Rect(15, 4, 20, 6), 8)
+        assert result.probabilities.get("o1", 0.0) > 0.3

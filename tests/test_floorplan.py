@@ -1,0 +1,189 @@
+"""Tests for floor plan entities, validation, builder, and presets."""
+
+import pytest
+
+from repro.floorplan import (
+    FloorPlan,
+    FloorPlanBuilder,
+    FloorPlanError,
+    paper_office_plan,
+    small_test_plan,
+)
+from repro.floorplan.entities import Hallway
+from repro.geometry import Point, Rect, Segment
+
+
+class TestHallway:
+    def test_rejects_non_positive_width(self):
+        with pytest.raises(ValueError):
+            Hallway("H", Segment(Point(0, 0), Point(10, 0)), 0.0)
+
+    def test_rejects_degenerate_centerline(self):
+        with pytest.raises(ValueError):
+            Hallway("H", Segment(Point(1, 1), Point(1, 1)), 2.0)
+
+    def test_rejects_diagonal_centerline(self):
+        with pytest.raises(ValueError):
+            Hallway("H", Segment(Point(0, 0), Point(5, 5)), 2.0)
+
+    def test_band_horizontal(self):
+        h = Hallway("H", Segment(Point(0, 5), Point(10, 5)), 2.0)
+        assert h.band == Rect(0, 4, 10, 6)
+
+    def test_band_vertical(self):
+        h = Hallway("H", Segment(Point(5, 0), Point(5, 10)), 2.0)
+        assert h.band == Rect(4, 0, 6, 10)
+
+    def test_contains(self):
+        h = Hallway("H", Segment(Point(0, 5), Point(10, 5)), 2.0)
+        assert h.contains(Point(5, 5.9))
+        assert not h.contains(Point(5, 6.1))
+
+    def test_project_and_point_at(self):
+        h = Hallway("H", Segment(Point(0, 5), Point(10, 5)), 2.0)
+        offset, dist = h.project(Point(3, 6))
+        assert offset == pytest.approx(3.0)
+        assert dist == pytest.approx(1.0)
+        assert h.point_at(3) == Point(3, 5)
+
+
+class TestBuilder:
+    def _builder(self):
+        builder = FloorPlanBuilder()
+        builder.add_hallway("H1", Point(0, 5), Point(20, 5), width=2.0)
+        return builder
+
+    def test_room_with_door_below_hallway(self):
+        builder = self._builder()
+        room = builder.add_room("R1", Rect(2, 0, 8, 4), "H1")
+        assert room.door.position == Point(5, 4)
+        assert room.door.hallway_point == Point(5, 5)
+        assert room.door.spur_length == pytest.approx(1.0)
+
+    def test_room_with_door_above_hallway(self):
+        builder = self._builder()
+        room = builder.add_room("R1", Rect(2, 6, 8, 12), "H1")
+        assert room.door.position == Point(5, 6)
+
+    def test_custom_door_x(self):
+        builder = self._builder()
+        room = builder.add_room("R1", Rect(2, 0, 8, 4), "H1", door_x=3.0)
+        assert room.door.position == Point(3, 4)
+
+    def test_door_x_outside_room_rejected(self):
+        builder = self._builder()
+        with pytest.raises(FloorPlanError):
+            builder.add_room("R1", Rect(2, 0, 8, 4), "H1", door_x=9.0)
+
+    def test_unknown_hallway_rejected(self):
+        builder = self._builder()
+        with pytest.raises(FloorPlanError):
+            builder.add_room("R1", Rect(2, 0, 8, 4), "NOPE")
+
+    def test_far_room_rejected(self):
+        builder = self._builder()
+        with pytest.raises(FloorPlanError):
+            # Room ends 3 m below the centerline: door cannot reach.
+            builder.add_room("R1", Rect(2, 0, 8, 2), "H1")
+
+    def test_vertical_hallway_room(self):
+        builder = FloorPlanBuilder()
+        builder.add_hallway("V", Point(5, 0), Point(5, 20), width=2.0)
+        room = builder.add_room("R1", Rect(6, 2, 12, 8), "V")
+        assert room.door.position == Point(6, 5)
+        assert room.door.hallway_point == Point(5, 5)
+
+
+class TestFloorPlanValidation:
+    def test_needs_hallway(self):
+        with pytest.raises(FloorPlanError):
+            FloorPlan([], [])
+
+    def test_duplicate_hallway_ids(self):
+        h = Hallway("H", Segment(Point(0, 5), Point(10, 5)), 2.0)
+        with pytest.raises(FloorPlanError):
+            FloorPlan([h, h], [])
+
+    def test_overlapping_rooms_rejected(self):
+        builder = FloorPlanBuilder()
+        builder.add_hallway("H1", Point(0, 5), Point(20, 5), width=2.0)
+        builder.add_room("R1", Rect(0, 0, 8, 4), "H1")
+        builder.add_room("R2", Rect(6, 0, 12, 4), "H1")
+        with pytest.raises(FloorPlanError):
+            builder.build()
+
+    def test_room_overlapping_hallway_rejected(self):
+        builder = FloorPlanBuilder()
+        builder.add_hallway("H1", Point(0, 5), Point(20, 5), width=2.0)
+        builder.add_room("R1", Rect(0, 0, 8, 5), "H1")
+        with pytest.raises(FloorPlanError):
+            builder.build()
+
+
+class TestFloorPlanQueries:
+    def test_room_at(self, small_plan):
+        assert small_plan.room_at(Point(5, 2)).room_id == "R1"
+        assert small_plan.room_at(Point(5, 5)) is None
+
+    def test_hallway_at(self, small_plan):
+        assert small_plan.hallway_at(Point(5, 5)).hallway_id == "H1"
+        assert small_plan.hallway_at(Point(5, 2)) is None
+
+    def test_contains(self, small_plan):
+        assert small_plan.contains(Point(5, 5))
+        assert small_plan.contains(Point(5, 2))
+        assert not small_plan.contains(Point(50, 50))
+
+    def test_lookup_unknown_raises(self, small_plan):
+        with pytest.raises(FloorPlanError):
+            small_plan.room("NOPE")
+        with pytest.raises(FloorPlanError):
+            small_plan.hallway("NOPE")
+
+    def test_has_room(self, small_plan):
+        assert small_plan.has_room("R1")
+        assert not small_plan.has_room("R99")
+
+    def test_total_area_small_plan(self, small_plan):
+        # Hallway 20x2 plus four 10x4 rooms.
+        assert small_plan.total_area == pytest.approx(40 + 160)
+
+
+class TestPaperPreset:
+    def test_counts(self, paper_plan):
+        assert len(paper_plan.rooms) == 30
+        assert len(paper_plan.hallways) == 4
+
+    def test_every_room_has_distinct_door(self, paper_plan):
+        door_ids = [room.door.door_id for room in paper_plan.rooms]
+        assert len(set(door_ids)) == 30
+
+    def test_doors_attach_to_their_hallways(self, paper_plan):
+        for room in paper_plan.rooms:
+            hallway = paper_plan.hallway(room.door.hallway_id)
+            _, dist = hallway.project(room.door.hallway_point)
+            assert dist < 1e-6
+
+    def test_rooms_dont_overlap_bands(self, paper_plan):
+        for room in paper_plan.rooms:
+            for hallway in paper_plan.hallways:
+                assert room.boundary.overlap_area(hallway.band) < 1e-9
+
+    def test_bounds(self, paper_plan):
+        bounds = paper_plan.bounds
+        assert bounds.width == pytest.approx(56.0)
+        assert bounds.height == pytest.approx(32.0)
+
+    def test_custom_size(self):
+        plan = paper_office_plan(width=80, height=40)
+        assert len(plan.rooms) == 30
+        assert plan.bounds.width == pytest.approx(72.0)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            paper_office_plan(width=10, height=8)
+
+    def test_deterministic(self):
+        a = paper_office_plan()
+        b = paper_office_plan()
+        assert [r.boundary for r in a.rooms] == [r.boundary for r in b.rooms]

@@ -1,0 +1,166 @@
+"""Unit and property tests for rectangles and circles."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import Circle, Point, Rect, Segment
+
+coords = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False)
+sizes = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+def rects():
+    return st.builds(
+        lambda x, y, w, h: Rect(x, y, x + w, y + h), coords, coords, sizes, sizes
+    )
+
+
+class TestRect:
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            Rect(1, 0, 0, 1)
+
+    def test_from_corners_normalizes(self):
+        r = Rect.from_corners(Point(5, 1), Point(2, 7))
+        assert (r.min_x, r.min_y, r.max_x, r.max_y) == (2, 1, 5, 7)
+
+    def test_from_center(self):
+        r = Rect.from_center(Point(5, 5), 4, 2)
+        assert (r.min_x, r.min_y, r.max_x, r.max_y) == (3, 4, 7, 6)
+
+    def test_from_center_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Rect.from_center(Point(0, 0), -1, 1)
+
+    def test_dimensions(self):
+        r = Rect(0, 0, 4, 3)
+        assert r.width == 4
+        assert r.height == 3
+        assert r.area == 12
+        assert r.center == Point(2, 1.5)
+
+    def test_contains_boundary(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.contains(Point(0, 0))
+        assert r.contains(Point(2, 2))
+        assert not r.contains(Point(2.01, 1))
+
+    def test_contains_rect(self):
+        assert Rect(0, 0, 10, 10).contains_rect(Rect(1, 1, 9, 9))
+        assert not Rect(0, 0, 10, 10).contains_rect(Rect(1, 1, 11, 9))
+
+    def test_intersection(self):
+        a = Rect(0, 0, 4, 4)
+        b = Rect(2, 2, 6, 6)
+        inter = a.intersection(b)
+        assert inter == Rect(2, 2, 4, 4)
+        assert a.overlap_area(b) == 4.0
+
+    def test_disjoint_intersection_none(self):
+        assert Rect(0, 0, 1, 1).intersection(Rect(2, 2, 3, 3)) is None
+        assert Rect(0, 0, 1, 1).overlap_area(Rect(2, 2, 3, 3)) == 0.0
+
+    def test_touching_rects_intersect(self):
+        assert Rect(0, 0, 1, 1).intersects(Rect(1, 0, 2, 1))
+
+    def test_expanded(self):
+        assert Rect(1, 1, 2, 2).expanded(1) == Rect(0, 0, 3, 3)
+
+    def test_distance_to_point(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.distance_to_point(Point(1, 1)) == 0.0
+        assert r.distance_to_point(Point(5, 2)) == 3.0
+        assert r.distance_to_point(Point(5, 6)) == 5.0
+
+    def test_clamp_point(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.clamp_point(Point(5, -1)) == Point(2, 0)
+        assert r.clamp_point(Point(1, 1)) == Point(1, 1)
+
+    @given(rects(), rects())
+    def test_intersects_symmetry(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(rects(), rects())
+    def test_overlap_bounded_by_min_area(self, a, b):
+        overlap = a.overlap_area(b)
+        assert overlap <= min(a.area, b.area) + 1e-6
+        assert overlap >= 0.0
+
+    @given(rects(), st.builds(Point, coords, coords))
+    def test_clamped_point_is_inside(self, r, p):
+        assert r.contains(r.clamp_point(p))
+
+
+class TestCircle:
+    def test_rejects_negative_radius(self):
+        with pytest.raises(ValueError):
+            Circle(Point(0, 0), -1)
+
+    def test_area(self):
+        assert Circle(Point(0, 0), 2).area == pytest.approx(4 * math.pi)
+
+    def test_contains(self):
+        c = Circle(Point(0, 0), 5)
+        assert c.contains(Point(3, 4))
+        assert not c.contains(Point(3.01, 4.01))
+
+    def test_intersects_rect(self):
+        c = Circle(Point(0, 0), 1)
+        assert c.intersects_rect(Rect(0.5, -1, 2, 1))
+        assert not c.intersects_rect(Rect(2, 2, 3, 3))
+
+    def test_intersects_circle(self):
+        a = Circle(Point(0, 0), 1)
+        assert a.intersects_circle(Circle(Point(1.5, 0), 1))
+        assert not a.intersects_circle(Circle(Point(3, 0), 1))
+
+    def test_tangent_circles_intersect(self):
+        assert Circle(Point(0, 0), 1).intersects_circle(Circle(Point(2, 0), 1))
+
+    def test_intersects_segment(self):
+        c = Circle(Point(0, 0), 1)
+        assert c.intersects_segment(Segment(Point(-5, 0.5), Point(5, 0.5)))
+        assert not c.intersects_segment(Segment(Point(-5, 2), Point(5, 2)))
+
+    def test_segment_overlap_full_chord(self):
+        c = Circle(Point(0, 0), 1)
+        seg = Segment(Point(-5, 0), Point(5, 0))
+        lo, hi = c.segment_overlap(seg)
+        assert lo == pytest.approx(4.0)
+        assert hi == pytest.approx(6.0)
+
+    def test_segment_overlap_miss(self):
+        c = Circle(Point(0, 0), 1)
+        assert c.segment_overlap(Segment(Point(-5, 3), Point(5, 3))) is None
+
+    def test_segment_overlap_partial(self):
+        c = Circle(Point(0, 0), 1)
+        seg = Segment(Point(0, 0), Point(5, 0))
+        lo, hi = c.segment_overlap(seg)
+        assert lo == pytest.approx(0.0)
+        assert hi == pytest.approx(1.0)
+
+    def test_bounding_rect(self):
+        r = Circle(Point(1, 2), 3).bounding_rect()
+        assert r == Rect(-2, -1, 4, 5)
+
+    @given(
+        st.builds(Point, coords, coords),
+        st.floats(min_value=0.1, max_value=50),
+        st.builds(Point, coords, coords),
+        st.builds(Point, coords, coords),
+    )
+    def test_segment_overlap_points_inside(self, center, radius, a, b):
+        circle = Circle(center, radius)
+        seg = Segment(a, b)
+        overlap = circle.segment_overlap(seg)
+        if overlap is None:
+            return
+        lo, hi = overlap
+        mid = seg.point_at((lo + hi) / 2.0)
+        # The chord midpoint must be inside (allow generous float slack for
+        # near-tangent configurations).
+        assert center.distance_to(mid) <= radius + 1e-3

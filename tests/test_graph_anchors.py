@@ -1,0 +1,138 @@
+"""Tests for anchor point generation and the anchor index."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Circle, Point, Rect
+from repro.graph import build_anchor_index
+
+
+class TestGeneration:
+    def test_spacing_rejected_when_non_positive(self, paper_graph):
+        with pytest.raises(ValueError):
+            build_anchor_index(paper_graph, spacing=0.0)
+
+    def test_every_node_has_anchor(self, paper_anchors, paper_graph):
+        for node in paper_graph.nodes:
+            anchor = paper_anchors.node_anchor(node.node_id)
+            assert anchor.point.is_close(node.point, tol=1e-6)
+
+    def test_anchor_count_matches_total_length(self, paper_anchors, paper_graph):
+        # Roughly one anchor per meter of edge.
+        total = paper_graph.total_edge_length
+        assert 0.8 * total <= len(paper_anchors) <= 1.3 * total
+
+    def test_anchor_locations_project_back(self, paper_anchors, paper_graph):
+        for anchor in paper_anchors.anchors[:100]:
+            assert paper_graph.point_of(anchor.location).is_close(
+                anchor.point, tol=1e-6
+            )
+
+    def test_interior_anchor_spacing(self, paper_anchors, paper_graph):
+        for edge in paper_graph.edges[:20]:
+            ordered = paper_anchors.on_edge(edge.edge_id)
+            offsets = [off for off, _ in ordered]
+            assert offsets == sorted(offsets)
+            for lo, hi in zip(offsets, offsets[1:]):
+                assert hi - lo <= paper_anchors.spacing * 1.5 + 1e-9
+
+    def test_edge_lists_include_endpoints(self, paper_anchors, paper_graph):
+        for edge in paper_graph.edges[:20]:
+            ordered = paper_anchors.on_edge(edge.edge_id)
+            assert ordered[0][0] == pytest.approx(0.0)
+            assert ordered[-1][0] == pytest.approx(edge.length)
+
+    def test_classification_room_vs_hallway(self, paper_anchors, paper_graph):
+        plan = paper_graph.floorplan
+        for anchor in paper_anchors.anchors:
+            if anchor.room_id is not None:
+                # Node anchors of rooms are at room centers.
+                assert plan.room(anchor.room_id).boundary.expanded(1e-6).contains(
+                    anchor.point
+                )
+            if anchor.hallway_id is not None:
+                assert plan.hallway(anchor.hallway_id).band.expanded(1e-6).contains(
+                    anchor.point
+                )
+
+    def test_room_anchor_lists(self, paper_anchors, paper_graph):
+        for room_id in paper_graph.room_ids():
+            anchors = paper_anchors.in_room(room_id)
+            assert anchors, f"room {room_id} has no anchors"
+            assert any(a.node_id == f"room:{room_id}" for a in anchors)
+
+
+class TestSpatialQueries:
+    def test_nearest_exact(self, paper_anchors):
+        anchor = paper_anchors.anchors[10]
+        assert paper_anchors.nearest(anchor.point).ap_id == anchor.ap_id
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.floats(min_value=-5, max_value=65),
+        st.floats(min_value=-5, max_value=35),
+    )
+    def test_nearest_matches_bruteforce(self, paper_anchors, x, y):
+        p = Point(x, y)
+        fast = paper_anchors.nearest(p)
+        best = min(paper_anchors.anchors, key=lambda a: a.point.squared_distance_to(p))
+        assert fast.point.distance_to(p) == pytest.approx(
+            best.point.distance_to(p), abs=1e-9
+        )
+
+    def test_in_rect_matches_bruteforce(self, paper_anchors):
+        rect = Rect(10, 3, 25, 8)
+        fast = {a.ap_id for a in paper_anchors.in_rect(rect)}
+        slow = {
+            a.ap_id for a in paper_anchors.anchors if rect.contains(a.point)
+        }
+        assert fast == slow
+
+    def test_in_circle_matches_bruteforce(self, paper_anchors):
+        circle = Circle(Point(20, 5), 3.0)
+        fast = {a.ap_id for a in paper_anchors.in_circle(circle)}
+        slow = {
+            a.ap_id for a in paper_anchors.anchors if circle.contains(a.point)
+        }
+        assert fast == slow
+
+    def test_empty_rect(self, paper_anchors):
+        assert paper_anchors.in_rect(Rect(-10, -10, -5, -5)) == []
+
+
+class TestNeighbors:
+    def test_neighbors_symmetric(self, paper_anchors):
+        adjacency = paper_anchors.neighbors()
+        for ap_id, links in adjacency.items():
+            for other, gap in links:
+                assert (ap_id, pytest.approx(gap)) in [
+                    (a, pytest.approx(g)) for a, g in adjacency[other]
+                ]
+
+    def test_gaps_positive_and_bounded(self, paper_anchors):
+        adjacency = paper_anchors.neighbors()
+        for links in adjacency.values():
+            for _, gap in links:
+                assert 0 < gap <= paper_anchors.spacing * 1.5 + 1e-9
+
+    def test_connected(self, paper_anchors):
+        adjacency = paper_anchors.neighbors()
+        seen = set()
+        stack = [next(iter(adjacency))]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(other for other, _ in adjacency[current])
+        assert len(seen) == len(paper_anchors)
+
+    def test_interior_anchor_has_two_neighbors(self, paper_anchors, paper_graph):
+        # A mid-edge anchor links to its predecessor and successor only.
+        edge = paper_graph.hallway_edges()[0]
+        ordered = paper_anchors.on_edge(edge.edge_id)
+        if len(ordered) >= 3:
+            _, mid_ap = ordered[1]
+            assert len(paper_anchors.neighbors()[mid_ap]) == 2

@@ -1,0 +1,252 @@
+"""Tests for walking graph construction, locations, and distances."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.floorplan import FloorPlanBuilder
+from repro.geometry import Point, Rect
+from repro.graph import (
+    EdgeKind,
+    GraphLocation,
+    NodeKind,
+    build_walking_graph,
+    plan_route,
+)
+
+
+class TestConstruction:
+    def test_small_plan_structure(self, small_graph):
+        # 1 hallway with 2 endpoints + 4 door attachment nodes = 6 hallway
+        # nodes, plus 4 room nodes.
+        rooms = [n for n in small_graph.nodes if n.kind is NodeKind.ROOM]
+        hall_nodes = [n for n in small_graph.nodes if n.kind is NodeKind.HALLWAY]
+        assert len(rooms) == 4
+        assert len(hall_nodes) == 4  # doors at x=5 and x=15 shared by 2 rooms each
+        door_edges = [e for e in small_graph.edges if e.kind is EdgeKind.DOOR]
+        assert len(door_edges) == 4
+
+    def test_connected(self, paper_graph):
+        # Validation would raise otherwise; double-check via distances.
+        nodes = paper_graph.nodes
+        for node in nodes[:10]:
+            assert paper_graph.node_distance(nodes[0].node_id, node.node_id) < 1e9
+
+    def test_room_nodes_have_degree_one(self, paper_graph):
+        for room_id in paper_graph.room_ids():
+            assert paper_graph.degree(paper_graph.room_node(room_id)) == 1
+
+    def test_door_edge_lookup(self, paper_graph):
+        edge = paper_graph.door_edge("R1")
+        assert edge.kind is EdgeKind.DOOR
+        assert edge.room_id == "R1"
+
+    def test_edges_join_node_points(self, paper_graph):
+        for edge in paper_graph.edges:
+            assert edge.path.start.is_close(
+                paper_graph.node(edge.node_a).point, tol=1e-6
+            )
+            assert edge.path.end.is_close(
+                paper_graph.node(edge.node_b).point, tol=1e-6
+            )
+
+    def test_loop_intersections_merge_nodes(self, paper_graph):
+        # The loop corners are crossings of horizontal and vertical
+        # hallways; each must be a single shared node of degree >= 3.
+        corner_points = [Point(5, 5), Point(59, 5), Point(5, 27), Point(59, 27)]
+        corner_nodes = [
+            n for n in paper_graph.nodes
+            if any(n.point.is_close(c, tol=1e-6) for c in corner_points)
+        ]
+        assert len(corner_nodes) == 4
+        for node in corner_nodes:
+            assert paper_graph.degree(node.node_id) >= 3
+
+    def test_total_edge_length_matches_hallways_plus_spurs(self, paper_graph):
+        plan = paper_graph.floorplan
+        hallway_total = sum(h.length for h in plan.hallways)
+        spur_total = sum(
+            paper_graph.door_edge(r.room_id).length for r in plan.rooms
+        )
+        assert paper_graph.total_edge_length == pytest.approx(
+            hallway_total + spur_total, rel=1e-9
+        )
+
+    def test_disconnected_plan_rejected(self):
+        builder = FloorPlanBuilder()
+        builder.add_hallway("H1", Point(0, 5), Point(10, 5), width=2.0)
+        builder.add_hallway("H2", Point(0, 25), Point(10, 25), width=2.0)
+        plan = builder.build()
+        with pytest.raises(ValueError, match="connected"):
+            build_walking_graph(plan)
+
+
+class TestEdgeApi:
+    def test_other_and_offset_of(self, small_graph):
+        edge = small_graph.edges[0]
+        assert edge.other(edge.node_a) == edge.node_b
+        assert edge.other(edge.node_b) == edge.node_a
+        assert edge.offset_of(edge.node_a) == 0.0
+        assert edge.offset_of(edge.node_b) == pytest.approx(edge.length)
+
+    def test_other_rejects_stranger(self, small_graph):
+        edge = small_graph.edges[0]
+        with pytest.raises(ValueError):
+            edge.other("not-a-node")
+
+
+class TestLocate:
+    def test_locate_on_hallway(self, small_graph):
+        loc, dist = small_graph.locate(Point(7.0, 5.0))
+        assert dist == pytest.approx(0.0, abs=1e-9)
+        assert small_graph.point_of(loc).is_close(Point(7.0, 5.0))
+
+    def test_locate_off_graph_snaps(self, small_graph):
+        loc, dist = small_graph.locate(Point(7.0, 6.5))
+        assert dist == pytest.approx(1.5)
+        assert small_graph.point_of(loc).is_close(Point(7.0, 5.0))
+
+    def test_node_location_roundtrip(self, paper_graph):
+        for node in paper_graph.nodes[:20]:
+            loc = paper_graph.node_location(node.node_id)
+            assert paper_graph.point_of(loc).is_close(node.point, tol=1e-6)
+
+
+class TestDistances:
+    def test_same_edge_distance(self, small_graph):
+        loc_a, _ = small_graph.locate(Point(2, 5))
+        loc_b, _ = small_graph.locate(Point(4, 5))
+        assert small_graph.distance(loc_a, loc_b) == pytest.approx(2.0)
+
+    def test_symmetry(self, paper_graph):
+        loc_a, _ = paper_graph.locate(Point(10, 5))
+        loc_b, _ = paper_graph.locate(Point(30, 27))
+        assert paper_graph.distance(loc_a, loc_b) == pytest.approx(
+            paper_graph.distance(loc_b, loc_a)
+        )
+
+    def test_identity(self, paper_graph):
+        loc, _ = paper_graph.locate(Point(10, 5))
+        assert paper_graph.distance(loc, loc) == 0.0
+
+    def test_distance_through_room_door(self, small_graph):
+        # From inside R1 (center (5,2)) to the hallway point above its door.
+        room_loc = small_graph.node_location(small_graph.room_node("R1"))
+        hall_loc, _ = small_graph.locate(Point(5, 5))
+        expected = small_graph.door_edge("R1").length
+        assert small_graph.distance(room_loc, hall_loc) == pytest.approx(expected)
+
+    def test_loop_takes_shorter_way_around(self, paper_graph):
+        # Two points on the loop: network distance must be min of the two
+        # ways around, never longer than half the loop + slack.
+        loc_a, _ = paper_graph.locate(Point(10, 5))
+        loc_b, _ = paper_graph.locate(Point(10, 27))
+        direct = paper_graph.distance(loc_a, loc_b)
+        # Going straight up the left vertical hallway: 5->10 = 22 plus 2*5
+        # horizontal legs to reach x=5 and back.
+        assert direct <= 22 + 10 + 1e-6
+
+    def test_distance_to_node(self, paper_graph):
+        loc, _ = paper_graph.locate(Point(10, 5))
+        room_node = paper_graph.room_node("R1")
+        via_generic = paper_graph.distance(
+            loc, paper_graph.node_location(room_node)
+        )
+        assert paper_graph.distance_to_node(loc, room_node) == pytest.approx(
+            via_generic
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.floats(min_value=0, max_value=60),
+        st.floats(min_value=0, max_value=30),
+        st.floats(min_value=0, max_value=60),
+        st.floats(min_value=0, max_value=30),
+        st.floats(min_value=0, max_value=60),
+        st.floats(min_value=0, max_value=30),
+    )
+    def test_triangle_inequality(self, paper_graph, x1, y1, x2, y2, x3, y3):
+        a, _ = paper_graph.locate(Point(x1, y1))
+        b, _ = paper_graph.locate(Point(x2, y2))
+        c, _ = paper_graph.locate(Point(x3, y3))
+        ab = paper_graph.distance(a, b)
+        bc = paper_graph.distance(b, c)
+        ac = paper_graph.distance(a, c)
+        assert ac <= ab + bc + 1e-6
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.floats(min_value=0, max_value=60),
+        st.floats(min_value=0, max_value=30),
+        st.floats(min_value=0, max_value=60),
+        st.floats(min_value=0, max_value=30),
+    )
+    def test_network_distance_lower_bounded_by_euclidean(
+        self, paper_graph, x1, y1, x2, y2
+    ):
+        a, da = paper_graph.locate(Point(x1, y1))
+        b, db = paper_graph.locate(Point(x2, y2))
+        pa = paper_graph.point_of(a)
+        pb = paper_graph.point_of(b)
+        assert paper_graph.distance(a, b) >= pa.distance_to(pb) - 1e-6
+
+
+class TestRouting:
+    def test_route_end_is_destination(self, paper_graph):
+        start, _ = paper_graph.locate(Point(10, 5))
+        dest = paper_graph.room_node("R20")
+        route = plan_route(paper_graph, start, dest)
+        end_point = paper_graph.point_of(route.end)
+        assert end_point.is_close(paper_graph.node(dest).point, tol=1e-6)
+
+    def test_route_length_matches_distance(self, paper_graph):
+        start, _ = paper_graph.locate(Point(10, 5))
+        dest = paper_graph.room_node("R20")
+        route = plan_route(paper_graph, start, dest)
+        assert route.total_length == pytest.approx(
+            paper_graph.distance_to_node(start, dest), rel=1e-9
+        )
+
+    def test_route_from_destination_is_empty(self, paper_graph):
+        dest = paper_graph.room_node("R5")
+        start = paper_graph.node_location(dest)
+        route = plan_route(paper_graph, start, dest)
+        assert route.total_length == pytest.approx(0.0, abs=1e-9)
+
+    def test_location_at_walks_monotonically(self, paper_graph):
+        start, _ = paper_graph.locate(Point(10, 5))
+        dest = paper_graph.room_node("R25")
+        route = plan_route(paper_graph, start, dest)
+        previous = None
+        for arc in [0.0, 0.5, 1.5, route.total_length / 2, route.total_length]:
+            loc = route.location_at(arc)
+            point = paper_graph.point_of(loc)
+            if previous is not None:
+                # Each sampled point advances along the path: its remaining
+                # distance to the destination must not increase.
+                rem_prev = paper_graph.distance_to_node(previous, dest)
+                rem_now = paper_graph.distance_to_node(loc, dest)
+                assert rem_now <= rem_prev + 1e-6
+            previous = loc
+            del point
+
+    def test_location_at_clamps(self, paper_graph):
+        start, _ = paper_graph.locate(Point(10, 5))
+        dest = paper_graph.room_node("R25")
+        route = plan_route(paper_graph, start, dest)
+        assert route.location_at(route.total_length + 100) == route.end
+
+    def test_connecting_edge_rejects_non_adjacent(self, paper_graph):
+        room_a = paper_graph.room_node("R1")
+        room_b = paper_graph.room_node("R2")
+        with pytest.raises(ValueError):
+            paper_graph.connecting_edge(room_a, room_b)
+
+
+class TestGraphLocation:
+    def test_rejects_negative_offset(self):
+        with pytest.raises(ValueError):
+            GraphLocation(0, -1.0)
+
+    def test_moved_to(self):
+        loc = GraphLocation(3, 2.0)
+        assert loc.moved_to(5.0) == GraphLocation(3, 5.0)

@@ -1,0 +1,111 @@
+"""Tests for the APtoObjHT anchor-object table."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.index import AnchorObjectTable
+
+
+def make_table():
+    table = AnchorObjectTable()
+    table.set_distribution("o1", {1: 0.14, 2: 0.5, 3: 0.36})
+    table.set_distribution("o3", {1: 0.03, 7: 0.97})
+    table.set_distribution("o7", {1: 0.37, 9: 0.63})
+    return table
+
+
+class TestWrites:
+    def test_set_and_read(self):
+        table = make_table()
+        assert table.at(1) == {"o1": 0.14, "o3": 0.03, "o7": 0.37}
+        assert table.distribution_of("o1") == {1: 0.14, 2: 0.5, 3: 0.36}
+
+    def test_replace_clears_old_entries(self):
+        table = make_table()
+        table.set_distribution("o1", {5: 1.0})
+        assert "o1" not in table.at(1)
+        assert table.distribution_of("o1") == {5: 1.0}
+
+    def test_zero_mass_dropped(self):
+        table = AnchorObjectTable()
+        table.set_distribution("o1", {1: 0.0, 2: -0.5, 3: 1.0})
+        assert table.distribution_of("o1") == {3: 1.0}
+
+    def test_empty_distribution_removes(self):
+        table = make_table()
+        table.set_distribution("o1", {})
+        assert not table.has_object("o1")
+
+    def test_remove_object(self):
+        table = make_table()
+        table.remove_object("o3")
+        assert not table.has_object("o3")
+        assert "o3" not in table.at(1)
+        table.remove_object("o3")  # idempotent
+
+    def test_remove_cleans_empty_buckets(self):
+        table = AnchorObjectTable()
+        table.set_distribution("o1", {42: 1.0})
+        table.remove_object("o1")
+        assert 42 not in table.anchors()
+
+    def test_clear(self):
+        table = make_table()
+        table.clear()
+        assert len(table) == 0
+        assert table.objects() == []
+        assert table.anchors() == []
+
+
+class TestReads:
+    def test_objects_and_anchors(self):
+        table = make_table()
+        assert sorted(table.objects()) == ["o1", "o3", "o7"]
+        assert set(table.anchors()) == {1, 2, 3, 7, 9}
+
+    def test_total_probability(self):
+        table = make_table()
+        assert table.total_probability("o1") == pytest.approx(1.0)
+        assert table.total_probability("missing") == 0.0
+
+    def test_probability_at(self):
+        table = make_table()
+        assert table.probability_at("o1", 2) == 0.5
+        assert table.probability_at("o1", 99) == 0.0
+        assert table.probability_at("missing", 2) == 0.0
+
+    def test_sum_over_anchors(self):
+        table = make_table()
+        assert table.sum_over_anchors("o1", [1, 2]) == pytest.approx(0.64)
+        assert table.sum_over_anchors("o1", []) == 0.0
+
+    def test_items_at(self):
+        table = make_table()
+        assert dict(table.items_at(1)) == {"o1": 0.14, "o3": 0.03, "o7": 0.37}
+        assert table.items_at(12345) == []
+
+    def test_at_returns_copy(self):
+        table = make_table()
+        view = table.at(1)
+        view["o1"] = 999.0
+        assert table.at(1)["o1"] == 0.14
+
+    def test_len(self):
+        assert len(make_table()) == 3
+
+
+@given(
+    st.dictionaries(
+        st.integers(min_value=0, max_value=50),
+        st.floats(min_value=0.001, max_value=1.0),
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_roundtrip_property(distribution):
+    table = AnchorObjectTable()
+    table.set_distribution("obj", distribution)
+    assert table.distribution_of("obj") == distribution
+    assert table.total_probability("obj") == pytest.approx(sum(distribution.values()))
+    for ap_id, mass in distribution.items():
+        assert table.at(ap_id)["obj"] == mass

@@ -1,0 +1,165 @@
+"""Tests for persistence: floor plans, deployments, reading logs, rows."""
+
+import pytest
+
+from repro.floorplan import paper_office_plan, small_test_plan
+from repro.floorplan.plan import FloorPlanError
+from repro.io import (
+    deployment_from_dict,
+    deployment_to_dict,
+    floorplan_from_dict,
+    floorplan_to_dict,
+    load_deployment,
+    load_floorplan,
+    load_rows_json,
+    read_readings_csv,
+    save_deployment,
+    save_floorplan,
+    save_rows_csv,
+    save_rows_json,
+    write_readings_csv,
+)
+from repro.io.readings_csv import group_readings_by_second
+from repro.rfid import deploy_readers_uniform
+from repro.rfid.readings import RawReading
+
+
+class TestFloorplanJson:
+    def test_roundtrip_dict(self):
+        plan = paper_office_plan()
+        clone = floorplan_from_dict(floorplan_to_dict(plan))
+        assert len(clone.rooms) == len(plan.rooms)
+        assert len(clone.hallways) == len(plan.hallways)
+        for original, copy in zip(plan.rooms, clone.rooms):
+            assert original.boundary == copy.boundary
+            assert original.door.position == copy.door.position
+
+    def test_roundtrip_file(self, tmp_path):
+        plan = small_test_plan()
+        path = tmp_path / "plan.json"
+        save_floorplan(plan, path)
+        clone = load_floorplan(path)
+        assert clone.bounds == plan.bounds
+        assert [r.room_id for r in clone.rooms] == [r.room_id for r in plan.rooms]
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(FloorPlanError, match="not a repro-floorplan"):
+            floorplan_from_dict({"format": "something-else", "version": 1})
+
+    def test_wrong_version_rejected(self):
+        data = floorplan_to_dict(small_test_plan())
+        data["version"] = 99
+        with pytest.raises(FloorPlanError, match="version"):
+            floorplan_from_dict(data)
+
+    def test_invalid_plan_revalidated(self):
+        data = floorplan_to_dict(small_test_plan())
+        # Stretch a room so it overlaps its neighbour.
+        data["rooms"][0]["boundary"] = [0.0, 0.0, 12.0, 4.0]
+        with pytest.raises(FloorPlanError, match="overlap"):
+            floorplan_from_dict(data)
+
+
+class TestDeploymentJson:
+    def test_roundtrip(self, tmp_path):
+        readers = deploy_readers_uniform(paper_office_plan(), 19, 2.0)
+        path = tmp_path / "deployment.json"
+        save_deployment(readers, path)
+        clone = load_deployment(path)
+        assert clone == readers
+
+    def test_duplicate_ids_rejected(self):
+        data = deployment_to_dict(
+            deploy_readers_uniform(paper_office_plan(), 3, 2.0)
+        )
+        data["readers"].append(dict(data["readers"][0]))
+        with pytest.raises(ValueError, match="duplicate"):
+            deployment_from_dict(data)
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError):
+            deployment_from_dict({"format": "nope", "version": 1})
+
+
+class TestReadingsCsv:
+    def _readings(self):
+        return [
+            RawReading(0.15, "tag1", "d1"),
+            RawReading(0.35, "tag2", "d2"),
+            RawReading(1.05, "tag1", "d1"),
+        ]
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "readings.csv"
+        write_readings_csv(self._readings(), path)
+        clone = read_readings_csv(path)
+        assert len(clone) == 3
+        assert clone[0].tag_id == "tag1"
+        assert clone[0].time == pytest.approx(0.15)
+
+    def test_sorted_on_read(self, tmp_path):
+        path = tmp_path / "readings.csv"
+        write_readings_csv(list(reversed(self._readings())), path)
+        clone = read_readings_csv(path)
+        times = [r.time for r in clone]
+        assert times == sorted(times)
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="header"):
+            read_readings_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_readings_csv(path)
+
+    def test_bad_row_rejected(self, tmp_path):
+        path = tmp_path / "bad_row.csv"
+        path.write_text("time,tag_id,reader_id\nnot-a-number,t,d\n")
+        with pytest.raises(ValueError, match="bad time"):
+            read_readings_csv(path)
+
+    def test_group_by_second(self):
+        groups = list(group_readings_by_second(self._readings()))
+        assert [second for second, _ in groups] == [0, 1]
+        assert len(groups[0][1]) == 2
+
+    def test_replay_into_collector(self, tmp_path):
+        from repro.collector import EventDrivenCollector
+
+        path = tmp_path / "log.csv"
+        write_readings_csv(self._readings(), path)
+        collector = EventDrivenCollector({"tag1": "o1", "tag2": "o2"})
+        for second, batch in group_readings_by_second(read_readings_csv(path)):
+            collector.ingest_second(second, batch)
+        assert collector.last_detection("o1") == ("d1", 1)
+
+
+class TestResultRows:
+    def test_csv(self, tmp_path):
+        rows = [{"a": 1, "b": 2.5}, {"a": 3, "c": "x"}]
+        path = tmp_path / "rows.csv"
+        save_rows_csv(rows, path)
+        text = path.read_text()
+        assert text.splitlines()[0] == "a,b,c"
+        assert "3" in text
+
+    def test_csv_empty(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        save_rows_csv([], path)
+        assert path.read_text() == ""
+
+    def test_json_roundtrip(self, tmp_path):
+        rows = [{"a": 1}, {"a": 2}]
+        path = tmp_path / "rows.json"
+        save_rows_json(rows, path)
+        assert load_rows_json(path) == rows
+
+    def test_json_rejects_non_array(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"a": 1}')
+        with pytest.raises(ValueError):
+            load_rows_json(path)

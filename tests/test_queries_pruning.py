@@ -1,0 +1,134 @@
+"""Tests for the query-aware optimization module (paper Section 4.3)."""
+
+import pytest
+
+from repro.collector import EventDrivenCollector
+from repro.config import DEFAULT_CONFIG
+from repro.geometry import Circle, Point, Rect
+from repro.queries import KNNQuery, QueryAwareOptimizer, RangeQuery, uncertain_region
+from repro.rfid.readings import RawReading
+
+
+def raw(second, tag, reader):
+    return [RawReading(second + 0.5, tag, reader)]
+
+
+@pytest.fixture
+def optimizer(paper_graph, paper_anchors, paper_readers_by_id):
+    return QueryAwareOptimizer(
+        paper_graph, paper_anchors, paper_readers_by_id, DEFAULT_CONFIG
+    )
+
+
+@pytest.fixture
+def collector(paper_readers_by_id):
+    tags = {f"tag{i}": f"o{i}" for i in range(1, 6)}
+    c = EventDrivenCollector(tags)
+    # o1..o5 each seen at a different reader at second 0.
+    readings = []
+    for i, reader_id in enumerate(["d1", "d4", "d8", "d12", "d16"], start=1):
+        readings += raw(0, f"tag{i}", reader_id)
+    c.ingest_second(0, readings)
+    return c
+
+
+class TestUncertainRegion:
+    def test_fresh_detection(self, paper_readers_by_id):
+        reader = paper_readers_by_id["d1"]
+        region = uncertain_region(reader, last_second=10, now=10, max_speed=1.5)
+        assert region.center == reader.position
+        assert region.radius == pytest.approx(reader.activation_range)
+
+    def test_grows_with_time(self, paper_readers_by_id):
+        reader = paper_readers_by_id["d1"]
+        region = uncertain_region(reader, last_second=10, now=20, max_speed=1.5)
+        assert region.radius == pytest.approx(15.0 + 2.0)
+
+    def test_rejects_time_travel(self, paper_readers_by_id):
+        with pytest.raises(ValueError):
+            uncertain_region(paper_readers_by_id["d1"], 10, 5, 1.5)
+
+
+class TestRangeCandidates:
+    def test_window_far_from_everyone(self, optimizer, collector):
+        queries = [RangeQuery("q", Rect(0, 28, 3, 31))]
+        candidates = optimizer.candidates(collector, now=1, range_queries=queries)
+        # Window is a corner far from all five readers at t=1.
+        regions = optimizer._uncertain_regions(collector, collector.observed_objects(), 1)
+        expected = {
+            o for o, r in regions.items() if r.intersects_rect(queries[0].window)
+        }
+        assert candidates == expected
+
+    def test_window_over_reader_catches_its_object(
+        self, optimizer, collector, paper_readers_by_id
+    ):
+        pos = paper_readers_by_id["d1"].position
+        window = Rect(pos.x - 1, pos.y - 1, pos.x + 1, pos.y + 1)
+        candidates = optimizer.candidates(
+            collector, now=1, range_queries=[RangeQuery("q", window)]
+        )
+        assert "o1" in candidates
+
+    def test_uncertainty_growth_adds_candidates(
+        self, optimizer, collector, paper_readers_by_id
+    ):
+        pos = paper_readers_by_id["d1"].position
+        window = Rect(pos.x - 1, pos.y - 1, pos.x + 1, pos.y + 1)
+        soon = optimizer.candidates(
+            collector, now=1, range_queries=[RangeQuery("q", window)]
+        )
+        later = optimizer.candidates(
+            collector, now=60, range_queries=[RangeQuery("q", window)]
+        )
+        assert soon <= later
+        assert len(later) >= len(soon)
+
+    def test_empty_without_queries(self, optimizer, collector):
+        assert optimizer.candidates(collector, now=1) == set()
+
+
+class TestKnnCandidates:
+    def test_all_kept_when_fewer_than_k(self, optimizer, collector, paper_readers_by_id):
+        query = KNNQuery("q", paper_readers_by_id["d1"].position, k=10)
+        candidates = optimizer.candidates(collector, now=1, knn_queries=[query])
+        assert candidates == {"o1", "o2", "o3", "o4", "o5"}
+
+    def test_prunes_far_objects(self, optimizer, collector, paper_readers_by_id):
+        query = KNNQuery("q", paper_readers_by_id["d1"].position, k=1)
+        candidates = optimizer.candidates(collector, now=1, knn_queries=[query])
+        assert "o1" in candidates
+        assert len(candidates) < 5
+
+    def test_never_prunes_true_nearest(
+        self, optimizer, collector, paper_graph, paper_readers_by_id
+    ):
+        # The object at d1 is by construction the nearest to d1's position.
+        query = KNNQuery("q", paper_readers_by_id["d1"].position, k=1)
+        candidates = optimizer.candidates(collector, now=5, knn_queries=[query])
+        assert "o1" in candidates
+
+    def test_safety_under_growth(self, optimizer, collector, paper_readers_by_id):
+        # As uncertainty grows, pruning must only get more conservative.
+        query = KNNQuery("q", paper_readers_by_id["d1"].position, k=2)
+        soon = optimizer.candidates(collector, now=1, knn_queries=[query])
+        later = optimizer.candidates(collector, now=120, knn_queries=[query])
+        assert soon <= later
+
+
+class TestQueryTypes:
+    def test_knn_query_requires_positive_k(self):
+        with pytest.raises(ValueError):
+            KNNQuery("q", Point(0, 0), k=0)
+
+    def test_union_over_queries(self, optimizer, collector, paper_readers_by_id):
+        d1 = paper_readers_by_id["d1"].position
+        d16 = paper_readers_by_id["d16"].position
+        both = optimizer.candidates(
+            collector,
+            now=1,
+            range_queries=[RangeQuery("r", Rect(d1.x - 1, d1.y - 1, d1.x + 1, d1.y + 1))],
+            knn_queries=[KNNQuery("k", d16, k=1)],
+        )
+        assert "o1" in both
+        assert "o5" in both

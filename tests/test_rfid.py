@@ -1,0 +1,162 @@
+"""Tests for the RFID substrate: readers, detection, deployment, readings."""
+
+import numpy as np
+import pytest
+
+from repro.floorplan import paper_office_plan
+from repro.geometry import Point
+from repro.rfid import (
+    DetectionModel,
+    RFIDReader,
+    RFIDTag,
+    deploy_readers_uniform,
+    ranges_are_disjoint,
+    reader_by_id,
+)
+from repro.rfid.readings import AggregatedReading, RawReading
+
+
+class TestReader:
+    def test_rejects_non_positive_range(self):
+        with pytest.raises(ValueError):
+            RFIDReader("d1", Point(0, 0), 0.0)
+
+    def test_covers(self):
+        reader = RFIDReader("d1", Point(0, 0), 2.0)
+        assert reader.covers(Point(1.9, 0))
+        assert not reader.covers(Point(2.1, 0))
+
+    def test_with_range(self):
+        reader = RFIDReader("d1", Point(0, 0), 2.0, hallway_id="H1")
+        bigger = reader.with_range(3.0)
+        assert bigger.activation_range == 3.0
+        assert bigger.reader_id == "d1"
+        assert bigger.hallway_id == "H1"
+
+    def test_tag_record(self):
+        tag = RFIDTag("tag1", "o1")
+        assert tag.tag_id == "tag1"
+        assert tag.object_id == "o1"
+
+
+class TestDeployment:
+    def test_count(self, paper_plan):
+        readers = deploy_readers_uniform(paper_plan, 19, 2.0)
+        assert len(readers) == 19
+        assert len({r.reader_id for r in readers}) == 19
+
+    def test_positions_on_hallway_centerlines(self, paper_plan):
+        for reader in deploy_readers_uniform(paper_plan, 19, 2.0):
+            hallway = paper_plan.hallway(reader.hallway_id)
+            _, dist = hallway.project(reader.position)
+            assert dist < 1e-9
+
+    def test_disjoint_at_default_range(self, paper_plan):
+        readers = deploy_readers_uniform(paper_plan, 19, 2.0)
+        assert ranges_are_disjoint(readers)
+
+    def test_disjoint_at_largest_sweep_range(self, paper_plan):
+        readers = deploy_readers_uniform(paper_plan, 19, 2.5)
+        assert ranges_are_disjoint(readers)
+
+    def test_single_reader(self, paper_plan):
+        readers = deploy_readers_uniform(paper_plan, 1, 2.0)
+        assert len(readers) == 1
+
+    def test_rejects_zero_count(self, paper_plan):
+        with pytest.raises(ValueError):
+            deploy_readers_uniform(paper_plan, 0, 2.0)
+
+    def test_rejects_negative_margin(self, paper_plan):
+        with pytest.raises(ValueError):
+            deploy_readers_uniform(paper_plan, 19, 2.0, end_margin=-1.0)
+
+    def test_reader_by_id(self, paper_plan):
+        readers = deploy_readers_uniform(paper_plan, 5, 2.0)
+        table = reader_by_id(readers)
+        assert set(table) == {f"d{i}" for i in range(1, 6)}
+
+    def test_reader_by_id_rejects_duplicates(self):
+        reader = RFIDReader("d1", Point(0, 0), 2.0)
+        with pytest.raises(ValueError):
+            reader_by_id([reader, reader])
+
+
+class TestDetectionModel:
+    def _model(self, p=1.0, samples=10):
+        readers = [RFIDReader("d1", Point(0, 0), 2.0), RFIDReader("d2", Point(10, 0), 2.0)]
+        return DetectionModel(readers, detection_probability=p, samples_per_second=samples)
+
+    def test_in_range_always_detected_at_p1(self):
+        model = self._model(p=1.0)
+        readings = model.sample_second(5, {"tag1": Point(1, 0)}, rng=0)
+        assert len(readings) == 10
+        assert all(r.reader_id == "d1" for r in readings)
+        assert all(5 <= r.time < 6 for r in readings)
+
+    def test_out_of_range_never_detected(self):
+        model = self._model(p=1.0)
+        assert model.sample_second(0, {"tag1": Point(5, 0)}, rng=0) == []
+
+    def test_zero_probability_never_detects(self):
+        model = self._model(p=0.0)
+        assert model.sample_second(0, {"tag1": Point(1, 0)}, rng=0) == []
+
+    def test_false_negative_rate_statistical(self):
+        model = self._model(p=0.5, samples=1)
+        rng = np.random.default_rng(7)
+        hits = sum(
+            bool(model.sample_second(s, {"tag1": Point(1, 0)}, rng=rng))
+            for s in range(400)
+        )
+        assert 150 < hits < 250
+
+    def test_multiple_tags(self):
+        model = self._model(p=1.0)
+        readings = model.sample_second(
+            0, {"tag1": Point(1, 0), "tag2": Point(10.5, 0), "tag3": Point(50, 50)}, rng=0
+        )
+        by_tag = {r.tag_id for r in readings}
+        assert by_tag == {"tag1", "tag2"}
+
+    def test_readings_sorted_by_time(self):
+        model = self._model(p=0.8)
+        readings = model.sample_second(
+            3, {"tag1": Point(1, 0), "tag2": Point(0.5, 0)}, rng=1
+        )
+        times = [r.time for r in readings]
+        assert times == sorted(times)
+
+    def test_missed_second_probability(self):
+        model = self._model(p=0.85, samples=10)
+        assert model.probability_of_missed_second() == pytest.approx(0.15 ** 10)
+
+    def test_detecting_reader(self):
+        model = self._model()
+        assert model.detecting_reader(Point(1, 0)).reader_id == "d1"
+        assert model.detecting_reader(Point(10.5, 0)).reader_id == "d2"
+        assert model.detecting_reader(Point(5, 0)) is None
+
+    def test_rejects_bad_parameters(self):
+        readers = [RFIDReader("d1", Point(0, 0), 2.0)]
+        with pytest.raises(ValueError):
+            DetectionModel(readers, detection_probability=1.5)
+        with pytest.raises(ValueError):
+            DetectionModel(readers, samples_per_second=0)
+
+    def test_deterministic_given_seed(self):
+        model = self._model(p=0.7)
+        a = model.sample_second(0, {"tag1": Point(1, 0)}, rng=42)
+        b = model.sample_second(0, {"tag1": Point(1, 0)}, rng=42)
+        assert a == b
+
+
+class TestReadingRecords:
+    def test_raw_reading_ordering(self):
+        a = RawReading(1.0, "t", "d")
+        b = RawReading(2.0, "t", "d")
+        assert a < b
+
+    def test_aggregated_rejects_negative_second(self):
+        with pytest.raises(ValueError):
+            AggregatedReading(second=-1, object_id="o", reader_id="d")

@@ -1,0 +1,144 @@
+"""Tests for staggered arrival/departure scenarios."""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.geometry import Point
+from repro.sim.scenarios import (
+    ArrivalEvent,
+    ArrivalTraceGenerator,
+    rush_hour_arrivals,
+)
+
+ENTRIES = [Point(4, 5), Point(60, 27)]
+
+
+def make_generator(paper_graph, arrivals, departure_after=None, seed=3):
+    return ArrivalTraceGenerator(
+        paper_graph,
+        DEFAULT_CONFIG,
+        arrivals=arrivals,
+        entry_points=ENTRIES,
+        rng=seed,
+        departure_after=departure_after,
+    )
+
+
+class TestArrivalEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArrivalEvent(second=-1, count=1)
+        with pytest.raises(ValueError):
+            ArrivalEvent(second=0, count=0)
+
+
+class TestArrivals:
+    def test_starts_empty(self, paper_graph):
+        generator = make_generator(paper_graph, [ArrivalEvent(5, 3)])
+        assert generator.population == 0
+
+    def test_spawns_on_schedule(self, paper_graph):
+        generator = make_generator(
+            paper_graph, [ArrivalEvent(2, 3), ArrivalEvent(5, 2)]
+        )
+        for _ in range(2):
+            generator.step()
+        assert generator.population == 3
+        for _ in range(3):
+            generator.step()
+        assert generator.population == 5
+        assert generator.total_spawned == 5
+
+    def test_newcomers_appear_at_entry_points(self, paper_graph):
+        generator = make_generator(paper_graph, [ArrivalEvent(1, 10)])
+        generator.step()
+        for obj in generator.objects:
+            point = paper_graph.point_of(obj.location)
+            # Within one step of some entry point.
+            assert min(point.distance_to(e) for e in ENTRIES) <= 2.0
+
+    def test_ids_unique(self, paper_graph):
+        generator = make_generator(
+            paper_graph, [ArrivalEvent(1, 4), ArrivalEvent(2, 4)]
+        )
+        for _ in range(3):
+            generator.step()
+        ids = [o.object_id for o in generator.objects]
+        assert len(set(ids)) == 8
+
+    def test_requires_entry_points(self, paper_graph):
+        with pytest.raises(ValueError):
+            ArrivalTraceGenerator(
+                paper_graph, DEFAULT_CONFIG, arrivals=[], entry_points=[]
+            )
+
+
+class TestDepartures:
+    def test_objects_eventually_leave(self, paper_graph):
+        generator = make_generator(
+            paper_graph, [ArrivalEvent(1, 5)], departure_after=10
+        )
+        for _ in range(120):
+            generator.step()
+        assert generator.population == 0
+        assert len(generator.departed) == 5
+
+    def test_departed_before_timeout_none(self, paper_graph):
+        generator = make_generator(
+            paper_graph, [ArrivalEvent(1, 5)], departure_after=50
+        )
+        for _ in range(10):
+            generator.step()
+        assert generator.population == 5
+        assert generator.departed == []
+
+    def test_departure_after_validated(self, paper_graph):
+        with pytest.raises(ValueError):
+            make_generator(paper_graph, [ArrivalEvent(1, 1)], departure_after=0)
+
+
+class TestRushHour:
+    def test_total_preserved(self):
+        events = rush_hour_arrivals(start=10, duration=60, total=47)
+        assert sum(e.count for e in events) == 47
+        assert all(10 <= e.second < 70 for e in events)
+
+    def test_single_burst(self):
+        events = rush_hour_arrivals(start=0, duration=3, total=5, burst_every=10)
+        assert len(events) == 1
+        assert events[0].count == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rush_hour_arrivals(0, 10, 0)
+        with pytest.raises(ValueError):
+            rush_hour_arrivals(0, 0, 5)
+
+    def test_end_to_end_with_collector(self, paper_graph, paper_readers):
+        """Arriving objects become observable as they pass readers."""
+        from repro.collector import EventDrivenCollector
+        from repro.rfid.detection import DetectionModel
+
+        generator = ArrivalTraceGenerator(
+            paper_graph,
+            DEFAULT_CONFIG,
+            arrivals=rush_hour_arrivals(1, 20, 10),
+            entry_points=[Point(4, 5)],
+            rng=9,
+        )
+        model = DetectionModel(paper_readers, 1.0, 5)
+        # Tags appear over time: build the mapping dynamically.
+        collector = None
+        for second in range(1, 40):
+            generator.step()
+            mapping = generator.tag_to_object()
+            if collector is None and mapping:
+                collector = EventDrivenCollector(mapping)
+            if collector is not None:
+                collector.register_tags(mapping)  # newly arrived tags
+                readings = model.sample_second(
+                    second, generator.tag_positions(), rng=second
+                )
+                collector.ingest_second(second, readings)
+        assert collector is not None
+        assert len(collector.observed_objects()) >= 5

@@ -1,0 +1,95 @@
+"""Tests for run and deployment statistics."""
+
+import pytest
+
+from repro.collector import EventDrivenCollector
+from repro.config import DEFAULT_CONFIG
+from repro.floorplan import paper_office_plan
+from repro.rfid import RFIDReader, deploy_readers_uniform
+from repro.rfid.readings import RawReading
+from repro.geometry import Point
+from repro.sim.statistics import (
+    hallway_coverage_fraction,
+    staleness_snapshot,
+    tracking_statistics,
+)
+
+TAGS = {"tag1": "o1", "tag2": "o2", "tag3": "o3"}
+
+
+def raw(second, tag, reader):
+    return [RawReading(second + 0.5, tag, reader)]
+
+
+class TestStaleness:
+    def _collector(self):
+        collector = EventDrivenCollector(TAGS)
+        collector.ingest_second(0, raw(0, "tag1", "d1"))
+        collector.ingest_second(5, raw(5, "tag2", "d2"))
+        collector.ingest_second(10, raw(10, "tag1", "d3"))
+        return collector
+
+    def test_snapshot_sorted(self):
+        collector = self._collector()
+        assert staleness_snapshot(collector, 10) == [0, 5]
+
+    def test_never_seen_excluded(self):
+        collector = self._collector()
+        assert len(staleness_snapshot(collector, 10)) == 2  # o3 never seen
+
+    def test_tracking_statistics(self):
+        collector = self._collector()
+        stats = tracking_statistics(collector, 10, num_objects=3)
+        assert stats.observed_objects == 2
+        assert stats.currently_detected == 1
+        assert stats.mean_staleness == pytest.approx(2.5)
+        assert stats.max_staleness == 5
+        assert stats.observed_fraction == pytest.approx(2 / 3)
+        assert stats.detected_fraction == pytest.approx(0.5)
+
+    def test_empty_collector(self):
+        stats = tracking_statistics(EventDrivenCollector(TAGS), 5, 3)
+        assert stats.observed_objects == 0
+        assert stats.mean_staleness is None
+        assert stats.observed_fraction == 0.0
+        assert stats.detected_fraction == 0.0
+
+
+class TestCoverage:
+    def test_paper_deployment_partial_coverage(self):
+        plan = paper_office_plan()
+        readers = deploy_readers_uniform(plan, 19, 2.0)
+        fraction = hallway_coverage_fraction(plan, readers)
+        # 19 readers x ~4 m of chord over 156 m of hallway: about half.
+        assert 0.4 < fraction < 0.6
+
+    def test_coverage_grows_with_range(self):
+        plan = paper_office_plan()
+        small = hallway_coverage_fraction(
+            plan, deploy_readers_uniform(plan, 19, 0.5)
+        )
+        large = hallway_coverage_fraction(
+            plan, deploy_readers_uniform(plan, 19, 2.5)
+        )
+        assert small < large
+
+    def test_no_readers(self):
+        plan = paper_office_plan()
+        assert hallway_coverage_fraction(plan, []) == 0.0
+
+    def test_overlapping_readers_not_double_counted(self):
+        plan = paper_office_plan()
+        # Two readers at the same spot cover the same chord once.
+        reader = RFIDReader("d1", Point(30, 5), 2.0)
+        twin = RFIDReader("d2", Point(30, 5), 2.0)
+        single = hallway_coverage_fraction(plan, [reader])
+        double = hallway_coverage_fraction(plan, [reader, twin])
+        assert double == pytest.approx(single)
+
+    def test_full_coverage_possible(self):
+        plan = paper_office_plan()
+        blanket = [
+            RFIDReader(f"b{i}", Point(4 + i * 2.0, 5.0), 100.0)
+            for i in range(3)
+        ]
+        assert hallway_coverage_fraction(plan, blanket) == pytest.approx(1.0)

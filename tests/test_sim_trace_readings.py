@@ -1,0 +1,109 @@
+"""Tests for the true trace generator and the raw reading generator."""
+
+import numpy as np
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.sim import RawReadingGenerator, TrueTraceGenerator
+
+
+@pytest.fixture
+def trace(paper_graph):
+    config = DEFAULT_CONFIG.with_overrides(num_objects=20)
+    return TrueTraceGenerator(paper_graph, config, rng=3)
+
+
+class TestTraceGenerator:
+    def test_object_count(self, trace):
+        assert len(trace.objects) == 20
+        assert len(set(o.object_id for o in trace.objects)) == 20
+        assert len(set(o.tag_id for o in trace.objects)) == 20
+
+    def test_positions_stay_on_graph(self, trace, paper_graph):
+        for _ in range(60):
+            trace.step()
+            for obj in trace.objects:
+                edge = paper_graph.edge(obj.location.edge_id)
+                assert -1e-9 <= obj.location.offset <= edge.length + 1e-9
+
+    def test_step_displacement_bounded(self, trace, paper_graph):
+        for _ in range(30):
+            before = {
+                o.object_id: paper_graph.point_of(o.location) for o in trace.objects
+            }
+            trace.step()
+            for obj in trace.objects:
+                after = paper_graph.point_of(obj.location)
+                # Straight-line displacement <= walked distance <= max speed.
+                assert before[obj.object_id].distance_to(after) <= (
+                    DEFAULT_CONFIG.max_speed + 1e-6
+                )
+
+    def test_objects_visit_rooms_and_dwell(self, paper_graph):
+        config = DEFAULT_CONFIG.with_overrides(num_objects=15)
+        trace = TrueTraceGenerator(paper_graph, config, rng=5)
+        dwelled = set()
+        for _ in range(200):
+            trace.step()
+            for obj in trace.objects:
+                if obj.is_dwelling:
+                    dwelled.add(obj.object_id)
+        assert len(dwelled) >= 10
+
+    def test_dwelling_objects_sit_at_room_nodes(self, trace, paper_graph):
+        for _ in range(120):
+            trace.step()
+            for obj in trace.objects:
+                if obj.is_dwelling and obj.destination_room:
+                    point = paper_graph.point_of(obj.location)
+                    room = paper_graph.floorplan.room(obj.destination_room)
+                    assert room.boundary.expanded(1e-6).contains(point)
+
+    def test_speed_distribution(self, paper_graph):
+        config = DEFAULT_CONFIG.with_overrides(num_objects=300)
+        trace = TrueTraceGenerator(paper_graph, config, rng=8)
+        speeds = [o.speed for o in trace.objects]
+        assert 0.9 < np.mean(speeds) < 1.1
+        assert all(s > 0 for s in speeds)
+
+    def test_tag_mapping(self, trace):
+        mapping = trace.tag_to_object()
+        for obj in trace.objects:
+            assert mapping[obj.tag_id] == obj.object_id
+
+    def test_deterministic(self, paper_graph):
+        config = DEFAULT_CONFIG.with_overrides(num_objects=10)
+        a = TrueTraceGenerator(paper_graph, config, rng=11)
+        b = TrueTraceGenerator(paper_graph, config, rng=11)
+        for _ in range(50):
+            a.step()
+            b.step()
+        assert a.locations() == b.locations()
+
+    def test_explicit_num_objects_overrides_config(self, paper_graph):
+        trace = TrueTraceGenerator(
+            paper_graph, DEFAULT_CONFIG, rng=1, num_objects=3
+        )
+        assert len(trace.objects) == 3
+
+
+class TestReadingGenerator:
+    def test_only_in_range_tags_read(self, paper_readers, paper_graph):
+        generator = RawReadingGenerator(paper_readers, 1.0, 10, rng=0)
+        reader = paper_readers[0]
+        tag_positions = {
+            "near": reader.position,
+            "far": paper_graph.floorplan.bounds.center,
+        }
+        readings = generator.generate(0, tag_positions)
+        tags = {r.tag_id for r in readings}
+        assert "near" in tags
+
+    def test_reading_times_within_second(self, paper_readers):
+        generator = RawReadingGenerator(paper_readers, 1.0, 10, rng=0)
+        readings = generator.generate(7, {"t": paper_readers[0].position})
+        assert all(7 <= r.time < 8 for r in readings)
+
+    def test_zero_probability_silent(self, paper_readers):
+        generator = RawReadingGenerator(paper_readers, 0.0, 10, rng=0)
+        assert generator.generate(0, {"t": paper_readers[0].position}) == []

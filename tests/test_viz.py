@@ -1,0 +1,88 @@
+"""Tests for the ASCII visualization layer."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.viz import AsciiCanvas, render_distribution, render_floorplan
+
+
+class TestCanvas:
+    def test_dimensions(self, paper_plan):
+        canvas = AsciiCanvas(paper_plan, columns=80)
+        rendered = canvas.render()
+        lines = rendered.split("\n")
+        assert len(lines) == canvas.rows
+        assert all(len(line) <= 80 for line in lines)
+
+    def test_rejects_tiny_width(self, paper_plan):
+        with pytest.raises(ValueError):
+            AsciiCanvas(paper_plan, columns=4)
+
+    def test_cell_roundtrip(self, paper_plan):
+        canvas = AsciiCanvas(paper_plan, columns=80)
+        cell = canvas.cell_of(Point(30, 16))
+        assert cell is not None
+        center = canvas.cell_center(*cell)
+        assert center.distance_to(Point(30, 16)) < 2.0
+
+    def test_off_canvas_point_ignored(self, paper_plan):
+        canvas = AsciiCanvas(paper_plan, columns=80)
+        assert canvas.cell_of(Point(-100, -100)) is None
+        canvas.put(Point(-100, -100), "X")  # no exception
+
+    def test_put_rejects_multichar(self, paper_plan):
+        with pytest.raises(ValueError):
+            AsciiCanvas(paper_plan).put(Point(10, 10), "XX")
+
+
+class TestFloorplanRendering:
+    def test_contains_rooms_and_hallways(self, paper_plan):
+        rendered = render_floorplan(paper_plan, columns=80)
+        assert ":" in rendered  # hallway cells
+        assert "." in rendered  # room cells
+
+    def test_readers_marked(self, paper_plan, paper_readers):
+        rendered = render_floorplan(paper_plan, paper_readers, columns=96)
+        assert rendered.count("R") >= 15  # some may share a cell
+
+    def test_positions_marked(self, paper_plan):
+        rendered = render_floorplan(
+            paper_plan, positions={"o1": Point(30, 5)}, columns=80
+        )
+        assert "o" in rendered
+
+    def test_rect_overlay(self, paper_plan):
+        canvas = AsciiCanvas(paper_plan, columns=80).paint_floorplan()
+        canvas.paint_rect(Rect(10, 3, 20, 8))
+        assert "+" in canvas.render()
+
+
+class TestDistributionRendering:
+    def test_heat_and_truth_marker(self, paper_plan, paper_anchors):
+        anchor = paper_anchors.nearest(Point(30, 5))
+        rendered = render_distribution(
+            paper_plan,
+            paper_anchors,
+            {anchor.ap_id: 1.0},
+            true_position=Point(10, 27),
+            columns=80,
+        )
+        assert "@" in rendered  # peak heat cell
+        assert "X" in rendered  # truth marker
+
+    def test_empty_distribution(self, paper_plan, paper_anchors):
+        rendered = render_distribution(paper_plan, paper_anchors, {}, columns=80)
+        assert "@" not in rendered
+
+    def test_relative_shading(self, paper_plan, paper_anchors):
+        strong = paper_anchors.nearest(Point(30, 5))
+        weak = paper_anchors.nearest(Point(30, 27))
+        rendered = render_distribution(
+            paper_plan,
+            paper_anchors,
+            {strong.ap_id: 0.9, weak.ap_id: 0.1},
+            columns=120,
+        )
+        assert "@" in rendered
+        # The weak cell uses a lighter ramp character.
+        assert any(c in rendered for c in ".:-=+")
