@@ -10,12 +10,21 @@ Two profiles control how much simulation each figure bench runs:
 
 Both profiles use the same floor plan, reader deployment, and algorithms;
 only the sampling effort differs.
+
+The module also hosts the shared observability glue for every bench:
+:func:`observed` enables :mod:`repro.obs` around a benchmarked run and
+attaches the recorded per-phase breakdown (histograms, span rollups, and
+counters) to the bench JSON via ``benchmark.extra_info`` — so a
+``--benchmark-json`` artifact explains *where* the time went instead of
+one opaque elapsed number.
 """
 
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
 
+from repro import obs
 from repro.config import DEFAULT_CONFIG, SimulationConfig
 
 QUICK = DEFAULT_CONFIG.with_overrides(
@@ -71,3 +80,55 @@ def profile_config() -> SimulationConfig:
 def sweep(key: str):
     """A figure's sweep values under the active profile."""
     return _SWEEPS[profile_name()][key]
+
+
+# ----------------------------------------------------------------------
+# observability glue (shared by every bench)
+# ----------------------------------------------------------------------
+def stopwatch() -> obs.Stopwatch:
+    """The shared section timer benches use instead of ad-hoc
+    ``time.perf_counter()`` loops: accumulates elapsed wall-clock over
+    any number of ``with`` sections (``.total``, ``.laps``)."""
+    return obs.stopwatch()
+
+
+def record_phase_breakdown(benchmark, **extra) -> None:
+    """Attach the live :mod:`repro.obs` breakdown to the bench JSON.
+
+    Stores per-phase timing histograms, span rollups, and event counters
+    under ``benchmark.extra_info`` so ``--benchmark-json`` output carries
+    the full cost structure of the run.
+    """
+    snap = obs.snapshot()
+    benchmark.extra_info["profile"] = profile_name()
+    benchmark.extra_info["phases"] = {
+        h["name"]: {
+            k: h[k] for k in ("count", "total", "mean", "p50", "p90", "p99")
+        }
+        for h in snap["metrics"]["histograms"]
+    }
+    benchmark.extra_info["spans"] = {
+        a["name"]: {k: a[k] for k in ("count", "total", "mean")}
+        for a in snap["trace"]["aggregates"]
+    }
+    benchmark.extra_info["counters"] = {
+        c["name"]: c["value"] for c in snap["metrics"]["counters"]
+    }
+    benchmark.extra_info.update(extra)
+
+
+@contextmanager
+def observed(benchmark, **extra):
+    """Enable observability around a benchmarked run and record it.
+
+    Usage::
+
+        with observed(benchmark):
+            rows = benchmark.pedantic(run_figure9, ...)
+    """
+    obs.enable()
+    try:
+        yield
+    finally:
+        obs.disable()
+        record_phase_breakdown(benchmark, **extra)

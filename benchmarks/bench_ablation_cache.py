@@ -6,10 +6,7 @@ sequence of snapshot evaluations over consecutive timestamps with the
 cache enabled and disabled, and reports the speedup plus hit statistics.
 """
 
-import time
-
-from _profiles import profile_config, profile_name
-
+from _profiles import observed, profile_config, profile_name, stopwatch
 from repro.sim import Simulation
 from repro.sim.experiments import format_rows
 
@@ -18,15 +15,16 @@ def _timed_snapshots(config, use_cache, rounds=10, gap_seconds=2):
     """Snapshot all objects every ``gap_seconds`` — the paper's "frequent
     queries" scenario where cached particle states pay off."""
     simulation = Simulation(config, use_cache=use_cache, build_symbolic=False)
-    elapsed = 0.0
+    watch = stopwatch()
     for i in range(rounds):
         timestamp = config.warmup_seconds + i * gap_seconds
         simulation.run_until(timestamp)
-        start = time.perf_counter()
-        simulation.pf_engine.locations_snapshot(timestamp, rng=simulation.pf_rng)
-        elapsed += time.perf_counter() - start
+        with watch:
+            simulation.pf_engine.locations_snapshot(
+                timestamp, rng=simulation.pf_rng
+            )
     stats = simulation.pf_engine.cache.stats if use_cache else None
-    return elapsed, stats
+    return watch.total, stats
 
 
 def test_ablation_cache(benchmark, capsys):
@@ -37,9 +35,10 @@ def test_ablation_cache(benchmark, capsys):
         without_cache, _ = _timed_snapshots(config, use_cache=False)
         return with_cache, without_cache, stats
 
-    with_cache, without_cache, stats = benchmark.pedantic(
-        run, rounds=1, iterations=1
-    )
+    with observed(benchmark):
+        with_cache, without_cache, stats = benchmark.pedantic(
+            run, rounds=1, iterations=1
+        )
 
     rows = [
         {

@@ -7,10 +7,7 @@ evaluation time — and verifies pruning does not change range-query
 answers for objects it keeps.
 """
 
-import time
-
-from _profiles import profile_config, profile_name
-
+from _profiles import observed, profile_config, profile_name, stopwatch
 from repro.queries.types import KNNQuery, RangeQuery
 from repro.sim import Simulation
 from repro.sim.experiments import format_rows, query_timestamps
@@ -22,7 +19,7 @@ def _run(config, use_pruning):
     )
     timestamps = query_timestamps(config)
     candidate_total = 0
-    elapsed = 0.0
+    watch = stopwatch()
     observed_total = 0
     for timestamp in timestamps:
         simulation.run_until(timestamp)
@@ -35,12 +32,11 @@ def _run(config, use_pruning):
         engine.register_knn_query(
             KNNQuery("k", simulation.random_query_point(), config.k)
         )
-        start = time.perf_counter()
-        snapshot = engine.evaluate(timestamp, rng=simulation.pf_rng)
-        elapsed += time.perf_counter() - start
+        with watch:
+            snapshot = engine.evaluate(timestamp, rng=simulation.pf_rng)
         candidate_total += len(snapshot.candidates)
         observed_total += len(engine.collector.observed_objects())
-    return candidate_total, observed_total, elapsed
+    return candidate_total, observed_total, watch.total
 
 
 def test_ablation_pruning(benchmark, capsys):
@@ -51,21 +47,22 @@ def test_ablation_pruning(benchmark, capsys):
         full = _run(config, use_pruning=False)
         return pruned, full
 
-    (pruned_candidates, observed, pruned_time), (
-        full_candidates, _, full_time
-    ) = benchmark.pedantic(run, rounds=1, iterations=1)
+    with observed(benchmark):
+        (pruned_candidates, observed_count, pruned_time), (
+            full_candidates, _, full_time
+        ) = benchmark.pedantic(run, rounds=1, iterations=1)
 
     rows = [
         {
             "pruning": "enabled",
             "candidates_filtered": pruned_candidates,
-            "objects_observed": observed,
+            "objects_observed": observed_count,
             "eval_seconds": round(pruned_time, 3),
         },
         {
             "pruning": "disabled",
             "candidates_filtered": full_candidates,
-            "objects_observed": observed,
+            "objects_observed": observed_count,
             "eval_seconds": round(full_time, 3),
         },
     ]

@@ -6,7 +6,7 @@ particle filter (PF) and symbolic model (SM) methods, for query windows of
 curves flat in window size, PF clearly below SM.
 """
 
-from _profiles import profile_config, profile_name, sweep
+from _profiles import observed, profile_config, profile_name, sweep
 
 from repro.sim.experiments import format_rows, run_figure9
 
@@ -15,10 +15,11 @@ def test_fig09_window_size(benchmark, capsys):
     config = profile_config()
     ratios = sweep("window_ratios")
 
-    rows = benchmark.pedantic(
-        run_figure9, args=(config,), kwargs={"window_ratios": ratios},
-        rounds=1, iterations=1,
-    )
+    with observed(benchmark):
+        rows = benchmark.pedantic(
+            run_figure9, args=(config,), kwargs={"window_ratios": ratios},
+            rounds=1, iterations=1,
+        )
 
     with capsys.disabled():
         print()

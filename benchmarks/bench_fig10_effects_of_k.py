@@ -6,7 +6,7 @@ is high and stable in k and always above the SM hit rate, which grows
 slowly with k.
 """
 
-from _profiles import profile_config, profile_name, sweep
+from _profiles import observed, profile_config, profile_name, sweep
 
 from repro.sim.experiments import format_rows, run_figure10
 
@@ -15,9 +15,10 @@ def test_fig10_effects_of_k(benchmark, capsys):
     config = profile_config()
     ks = sweep("ks")
 
-    rows = benchmark.pedantic(
-        run_figure10, args=(config,), kwargs={"ks": ks}, rounds=1, iterations=1
-    )
+    with observed(benchmark):
+        rows = benchmark.pedantic(
+            run_figure10, args=(config,), kwargs={"ks": ks}, rounds=1, iterations=1
+        )
 
     with capsys.disabled():
         print()

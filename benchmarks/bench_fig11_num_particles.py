@@ -7,7 +7,7 @@ few particles PF is worse than SM; PF overtakes SM around 8 particles and
 plateaus beyond ~64 (which is why 64 is the paper's default).
 """
 
-from _profiles import profile_config, profile_name, sweep
+from _profiles import observed, profile_config, profile_name, sweep
 
 from repro.sim.experiments import format_rows, run_figure11
 
@@ -16,10 +16,11 @@ def test_fig11_num_particles(benchmark, capsys):
     config = profile_config()
     counts = sweep("particles")
 
-    rows = benchmark.pedantic(
-        run_figure11, args=(config,), kwargs={"particle_counts": counts},
-        rounds=1, iterations=1,
-    )
+    with observed(benchmark):
+        rows = benchmark.pedantic(
+            run_figure11, args=(config,), kwargs={"particle_counts": counts},
+            rounds=1, iterations=1,
+        )
 
     with capsys.disabled():
         print()

@@ -7,7 +7,7 @@ kNN hit rate of *both* methods degrades as more objects crowd the same
 space; PF stays above SM throughout.
 """
 
-from _profiles import profile_config, profile_name, sweep
+from _profiles import observed, profile_config, profile_name, sweep
 
 from repro.sim.experiments import format_rows, run_figure12
 
@@ -16,10 +16,11 @@ def test_fig12_num_objects(benchmark, capsys):
     config = profile_config()
     counts = sweep("objects")
 
-    rows = benchmark.pedantic(
-        run_figure12, args=(config,), kwargs={"object_counts": counts},
-        rounds=1, iterations=1,
-    )
+    with observed(benchmark):
+        rows = benchmark.pedantic(
+            run_figure12, args=(config,), kwargs={"object_counts": counts},
+            rounds=1, iterations=1,
+        )
 
     with capsys.disabled():
         print()

@@ -6,7 +6,7 @@ methods improve as the range grows (uncovered uncertain regions shrink);
 PF retains usable accuracy even at small ranges and dominates SM.
 """
 
-from _profiles import profile_config, profile_name, sweep
+from _profiles import observed, profile_config, profile_name, sweep
 
 from repro.sim.experiments import format_rows, run_figure13
 
@@ -15,10 +15,11 @@ def test_fig13_activation_range(benchmark, capsys):
     config = profile_config()
     ranges = sweep("ranges")
 
-    rows = benchmark.pedantic(
-        run_figure13, args=(config,), kwargs={"activation_ranges": ranges},
-        rounds=1, iterations=1,
-    )
+    with observed(benchmark):
+        rows = benchmark.pedantic(
+            run_figure13, args=(config,), kwargs={"activation_ranges": ranges},
+            rounds=1, iterations=1,
+        )
 
     with capsys.disabled():
         print()

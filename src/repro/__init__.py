@@ -19,6 +19,7 @@ Quickstart::
     print(result.top(5))
 """
 
+import repro.obs as obs
 from repro.config import DEFAULT_CONFIG, SimulationConfig
 from repro.floorplan import (
     FloorPlan,
@@ -80,5 +81,6 @@ __all__ = [
     "deploy_readers_uniform",
     "Simulation",
     "evaluate_accuracy",
+    "obs",
     "__version__",
 ]

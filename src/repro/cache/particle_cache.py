@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+import repro.obs as obs
 from repro.core.particles import ParticleSet
 
 
@@ -67,13 +68,17 @@ class ParticleCacheManager:
         entry = self._entries.get(object_id)
         if entry is None:
             self.stats.misses += 1
+            obs.add("cache.misses")
             return None
         if entry.device_generation != device_generation:
             del self._entries[object_id]
             self.stats.invalidations += 1
             self.stats.misses += 1
+            obs.add("cache.invalidations")
+            obs.add("cache.misses")
             return None
         self.stats.hits += 1
+        obs.add("cache.hits")
         return entry.particles.copy(), entry.state_second
 
     def store(

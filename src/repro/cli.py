@@ -1,12 +1,17 @@
 """Command-line interface.
 
-Four subcommands::
+Five subcommands::
 
     repro simulate    run the simulator; export the floor plan, reader
                       deployment, and raw reading log
     repro render      draw a floor plan (and optional deployment) as ASCII
     repro experiment  regenerate one of the paper's figures (9-13)
     repro demo        a 60-second end-to-end demo with live queries
+    repro stats       render the summary table of a --trace output file
+
+``simulate`` and ``experiment`` accept ``--trace PATH``: observability
+(:mod:`repro.obs`) is enabled for the run and the collected metrics and
+spans are written to ``PATH`` as JSON.
 
 Installed as the ``repro`` console script; also runnable as
 ``python -m repro.cli``.
@@ -15,9 +20,11 @@ Installed as the ``repro`` console script; also runnable as
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
+import repro.obs as obs
 from repro.config import DEFAULT_CONFIG
 from repro.geometry import Point, Rect
 from repro.sim.experiments import (
@@ -47,6 +54,11 @@ def build_parser() -> argparse.ArgumentParser:
             "(EDBT 2013 reproduction)"
         ),
     )
+    from repro import __version__
+
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     simulate = subparsers.add_parser(
@@ -60,6 +72,10 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--deployment", metavar="JSON", help="deployment output")
     simulate.add_argument(
         "--render", action="store_true", help="print the final world state"
+    )
+    simulate.add_argument(
+        "--trace", metavar="JSON",
+        help="enable observability and write metrics + spans here",
     )
 
     render = subparsers.add_parser(
@@ -82,8 +98,20 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--seed", type=int, default=None)
     experiment.add_argument("--out-csv", metavar="CSV", help="save rows as CSV")
     experiment.add_argument("--out-json", metavar="JSON", help="save rows as JSON")
+    experiment.add_argument(
+        "--trace", metavar="JSON",
+        help="enable observability and write metrics + spans here",
+    )
 
     subparsers.add_parser("demo", help="run a quick end-to-end demo")
+
+    stats = subparsers.add_parser(
+        "stats", help="summarize a trace file written by --trace"
+    )
+    stats.add_argument("trace", metavar="JSON", help="trace file to summarize")
+    stats.add_argument(
+        "--out-csv", metavar="CSV", help="also export flattened metric rows"
+    )
     return parser
 
 
@@ -95,8 +123,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         "render": _cmd_render,
         "experiment": _cmd_experiment,
         "demo": _cmd_demo,
+        "stats": _cmd_stats,
     }[args.command]
     return handler(args)
+
+
+def _start_trace(args: argparse.Namespace) -> bool:
+    """Enable observability when ``--trace`` was requested."""
+    if getattr(args, "trace", None):
+        # Fail before the run, not after it: a bad output path should not
+        # cost minutes of simulation first.
+        parent = os.path.dirname(os.path.abspath(args.trace))
+        if not os.path.isdir(parent):
+            raise SystemExit(
+                f"repro: error: --trace directory does not exist: {parent}"
+            )
+        obs.enable()
+        return True
+    return False
+
+
+def _finish_trace(args: argparse.Namespace, meta: dict) -> None:
+    """Export and disable observability after a traced run."""
+    obs.export_json(args.trace, meta=meta)
+    obs.disable()
+    print(f"trace -> {args.trace}")
 
 
 # ----------------------------------------------------------------------
@@ -104,6 +155,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.io import save_deployment, save_floorplan, write_readings_csv
     from repro.sim import Simulation
 
+    tracing = _start_trace(args)
     config = DEFAULT_CONFIG.with_overrides(
         num_objects=args.objects, seed=args.seed
     )
@@ -111,12 +163,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
     all_readings = []
     for _ in range(args.seconds):
-        sim.trace.step()
-        readings = sim.reading_generator.generate(
-            sim.trace.now, sim.trace.tag_positions()
-        )
-        all_readings.extend(readings)
-        sim.pf_engine.ingest_second(sim.trace.now, readings)
+        sim.run_for(1)
+        all_readings.extend(sim.last_readings)
+
+    if tracing:
+        # Exercise one full evaluation round (pruning -> filtering ->
+        # query eval) plus an all-objects snapshot, so the trace covers
+        # pruning counters AND filter phases for every tracked object,
+        # not just collector throughput.
+        sim.pf_engine.range_query(sim.random_window(), sim.now, rng=sim.pf_rng)
+        sim.pf_engine.locations_snapshot(sim.now, rng=sim.pf_rng)
 
     print(
         f"simulated {args.seconds} s, {args.objects} objects, "
@@ -135,6 +191,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         from repro.viz import render_floorplan
 
         print(render_floorplan(sim.plan, sim.readers, sim.true_positions()))
+    if tracing:
+        _finish_trace(
+            args,
+            meta={
+                "command": "simulate",
+                "objects": args.objects,
+                "seconds": args.seconds,
+                "seed": args.seed,
+            },
+        )
     return 0
 
 
@@ -150,6 +216,7 @@ def _cmd_render(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    tracing = _start_trace(args)
     config = DEFAULT_CONFIG
     if args.objects is not None:
         config = config.with_overrides(num_objects=args.objects)
@@ -171,6 +238,19 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
         save_rows_json(rows, args.out_json)
         print(f"rows -> {args.out_json}")
+    if tracing:
+        _finish_trace(args, meta={"command": "experiment", "figure": args.figure})
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs.report import load_trace, render_summary, write_csv
+
+    data = load_trace(args.trace)
+    print(render_summary(data))
+    if args.out_csv:
+        write_csv(data, args.out_csv)
+        print(f"rows -> {args.out_csv}")
     return 0
 
 

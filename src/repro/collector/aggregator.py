@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections import Counter, defaultdict
 from typing import Dict, Iterable, Mapping
 
+import repro.obs as obs
 from repro.rfid.readings import AggregatedReading, RawReading
 
 
@@ -27,15 +28,19 @@ def aggregate_second(
     with the most samples wins; ties break by reader id for determinism.
     """
     samples_per_object: Dict[str, Counter] = defaultdict(Counter)
+    raw_count = 0
+    unknown_count = 0
     for reading in raw_readings:
         if not second <= reading.time < second + 1:
             raise ValueError(
                 f"reading at t={reading.time} does not belong to second {second}"
             )
+        raw_count += 1
         object_id = tag_to_object.get(reading.tag_id)
         if object_id is None:
             # Unknown tag: a foreign tag wandered into the building; the
             # query system tracks only registered objects.
+            unknown_count += 1
             continue
         samples_per_object[object_id][reading.reader_id] += 1
 
@@ -47,4 +52,9 @@ def aggregate_second(
         aggregated[object_id] = AggregatedReading(
             second=second, object_id=object_id, reader_id=best_reader
         )
+    if obs.enabled():
+        obs.add("collector.raw_readings", raw_count)
+        obs.add("collector.unknown_tag_readings", unknown_count)
+        obs.add("collector.aggregated_readings", len(aggregated))
+        obs.observe("collector.raw_readings_per_second", raw_count)
     return aggregated

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
+import repro.obs as obs
 from repro.collector.aggregator import aggregate_second
 from repro.collector.events import EventKind, ObservationEvent
 from repro.rfid.readings import AggregatedReading, RawReading, ReadingEntry
@@ -154,6 +155,9 @@ class EventDrivenCollector:
         aggregated = aggregate_second(second, raw_readings, self._tag_to_object)
         for object_id, entry in aggregated.items():
             self._ingest_entry(entry)
+        if obs.enabled():
+            obs.add("collector.seconds_ingested")
+            obs.gauge_set("collector.objects_tracked", len(self._runs))
 
     def _ingest_entry(self, entry: AggregatedReading) -> None:
         runs = self._runs.setdefault(entry.object_id, [])
@@ -170,11 +174,13 @@ class EventDrivenCollector:
                     previous.last_second,
                 )
             )
+            obs.add("collector.leave_events")
         self._events.append(
             ObservationEvent(
                 EventKind.ENTER, entry.object_id, entry.reader_id, entry.second
             )
         )
+        obs.add("collector.enter_events")
         runs.append(DeviceRun(reader_id=entry.reader_id, seconds=[entry.second]))
         if len(runs) > self._max_runs:
             del runs[: len(runs) - self._max_runs]

@@ -81,6 +81,13 @@ class SimulationConfig:
     kl_epsilon: float = 0.01
     topk_tolerance: float = 2.0
 
+    # --- observability (repro.obs) ------------------------------------------
+    # When True, Simulation enables the process-local metrics registry and
+    # span tracer (repro.obs) for the run. Off by default: every
+    # instrumented call site is a guarded no-op, and recording never
+    # touches any RNG, so enabling it cannot change results.
+    observability: bool = False
+
     seed: int = 7
 
     def __post_init__(self) -> None:

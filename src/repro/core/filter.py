@@ -22,6 +22,7 @@ from typing import Callable, Mapping, Optional, Tuple
 
 import numpy as np
 
+import repro.obs as obs
 from repro.collector.collector import ReadingHistory
 from repro.config import SimulationConfig
 from repro.core.compiled import CompiledGraph
@@ -96,21 +97,26 @@ class ParticleFilter:
         # reading — with no observations the cloud disperses into noise.
         t_end = int(min(td + self.config.silence_cap_seconds, current_second))
 
-        if resume is not None and resume[1] <= t_end:
-            particles = resume[0].copy()
-            t_state = resume[1]
-        else:
-            particles = self._initialize(history, generator)
-            t_state = t0
+        with obs.span("filter.run", object=history.object_id):
+            if resume is not None and resume[1] <= t_end:
+                particles = resume[0].copy()
+                t_state = resume[1]
+                obs.add("filter.resumed_runs")
+            else:
+                particles = self._initialize(history, generator)
+                t_state = t0
+            obs.add("filter.runs")
+            obs.add("filter.seconds_replayed", max(t_end - t_state, 0))
 
-        for second in range(t_state + 1, t_end + 1):
-            self.motion.step(particles, generator, dt=1.0)
-            reader_id = history.reading_at(second)
-            if reader_id is None:
-                if self.config.use_negative_information:
-                    self._observe_silence(particles, generator)
-                continue
-            self._observe(particles, reader_id, generator)
+            for second in range(t_state + 1, t_end + 1):
+                with obs.timer("filter.predict"):
+                    self.motion.step(particles, generator, dt=1.0)
+                reader_id = history.reading_at(second)
+                if reader_id is None:
+                    if self.config.use_negative_information:
+                        self._observe_silence(particles, generator)
+                    continue
+                self._observe(particles, reader_id, generator)
         return FilterResult(particles=particles, end_second=t_end)
 
     def _observe_silence(
@@ -123,20 +129,25 @@ class ParticleFilter:
         read there). Resampling is deferred until the weights degenerate,
         so repeated silent seconds do not add resampling noise.
         """
-        mask = self.sensing.reweight_negative(
-            particles, self.config.negative_likelihood
-        )
-        if mask.all():
-            # Everything is in covered space (e.g. dense deployments right
-            # after initialization): silence carries no contrast, undo.
+        with obs.timer("filter.weight"):
+            mask = self.sensing.reweight_negative(
+                particles, self.config.negative_likelihood
+            )
+        obs.add("filter.silent_observations")
+        with obs.timer("filter.normalize"):
+            if mask.all():
+                # Everything is in covered space (e.g. dense deployments
+                # right after initialization): silence carries no
+                # contrast, undo.
+                particles.normalize_weights()
+                return
             particles.normalize_weights()
-            return
-        particles.normalize_weights()
         ess = 1.0 / float(np.sum(particles.weight ** 2))
         if ess < len(particles) / 2.0:
-            indices = self.resampler(particles.weight, len(particles), rng)
-            resampled = particles.select(indices)
-            self._replace(particles, resampled)
+            with obs.timer("filter.resample"):
+                indices = self.resampler(particles.weight, len(particles), rng)
+                resampled = particles.select(indices)
+                self._replace(particles, resampled)
 
     # ------------------------------------------------------------------
     def _initialize(self, history: ReadingHistory, rng: np.random.Generator) -> ParticleSet:
@@ -150,21 +161,26 @@ class ParticleFilter:
         self, particles: ParticleSet, reader_id: str, rng: np.random.Generator
     ) -> None:
         """Reweight, normalize, and resample on one observation."""
-        mask = self.sensing.reweight(particles, reader_id)
+        with obs.timer("filter.weight"):
+            mask = self.sensing.reweight(particles, reader_id)
+        obs.add("filter.observations")
         if not mask.any():
             # Particle depletion: no hypothesis is consistent with the
             # observation (e.g. the cloud dispersed during a long silent
             # stretch, or the object backtracked against all particles).
             # Recover by re-seeding within the observed reader's range —
             # the object is certainly there (paper Section 3.2, Case 1).
+            obs.add("filter.depletion_reseeds")
             reseeded = self.motion.initialize_in_circle(
                 len(particles), self.readers[reader_id].detection_circle, rng
             )
             self._replace(particles, reseeded)
             return
-        particles.normalize_weights()
-        indices = self.resampler(particles.weight, len(particles), rng)
-        self._replace(particles, particles.select(indices))
+        with obs.timer("filter.normalize"):
+            particles.normalize_weights()
+        with obs.timer("filter.resample"):
+            indices = self.resampler(particles.weight, len(particles), rng)
+            self._replace(particles, particles.select(indices))
 
     @staticmethod
     def _replace(particles: ParticleSet, source: ParticleSet) -> None:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable, Optional
 
+import repro.obs as obs
 from repro.collector.collector import EventDrivenCollector
 from repro.config import SimulationConfig
 from repro.core.compiled import CompiledAnchors, CompiledGraph
@@ -70,6 +71,7 @@ class PreprocessingModule:
         for object_id in candidates:
             history = collector.history(object_id)
             if history.is_empty:
+                obs.add("preprocess.objects_skipped_no_history")
                 continue
             resume = None
             generation = collector.device_generation(object_id)
@@ -82,8 +84,10 @@ class PreprocessingModule:
                 self.cache.store(
                     object_id, result.particles, result.end_second, generation
                 )
-            distribution = particles_to_anchor_distribution(
-                result.particles, self.compiled_graph, self.compiled_anchors
-            )
+            with obs.timer("preprocess.anchor_snap"):
+                distribution = particles_to_anchor_distribution(
+                    result.particles, self.compiled_graph, self.compiled_anchors
+                )
             table.set_distribution(object_id, distribution)
+            obs.add("preprocess.objects_filtered")
         return table

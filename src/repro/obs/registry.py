@@ -1,0 +1,283 @@
+"""Process-local metrics registry.
+
+Four instrument kinds, chosen to cover everything the evaluation in the
+paper's Section 5 reports:
+
+* :class:`Counter` — monotonically increasing event counts (readings
+  ingested, candidates pruned, cache hits);
+* :class:`Gauge` — last-write-wins scalars (objects currently tracked);
+* :class:`Histogram` — value distributions with quantile summaries
+  (per-phase latencies, readings per second);
+* :class:`Timer` — a histogram of elapsed seconds fed by a context
+  manager, plus a :class:`Stopwatch` for accumulating coarse sections.
+
+Everything is plain Python with no dependencies. Time is read through an
+injectable monotonic clock so tests (and the determinism suite) can drive
+instruments with a fake clock and get byte-stable output.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+Clock = Callable[[], float]
+
+#: Default histogram sample retention; past this the histogram keeps
+#: count/sum/min/max exact but stops storing samples for quantiles.
+DEFAULT_MAX_SAMPLES = 65536
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def as_dict(self) -> Dict[str, object]:
+        """Serializable snapshot."""
+        return {"name": self.name, "type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A last-write-wins scalar."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the current value."""
+        self.value = float(value)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Serializable snapshot."""
+        return {"name": self.name, "type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """A distribution of observed values with on-demand quantiles.
+
+    Samples are retained (up to ``max_samples``) so quantiles are exact,
+    not sketched; past the cap the histogram degrades gracefully —
+    ``count``/``total``/``min``/``max`` stay exact, quantiles are computed
+    over the retained prefix, and ``dropped`` records how many samples
+    were not retained. Retention is deterministic (first-come) so two
+    identical runs summarize identically.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "dropped",
+                 "max_samples", "_samples")
+
+    def __init__(self, name: str, max_samples: int = DEFAULT_MAX_SAMPLES):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.dropped = 0
+        self.max_samples = max_samples
+        self._samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if len(self._samples) < self.max_samples:
+            self._samples.append(value)
+        else:
+            self.dropped += 1
+
+    @property
+    def mean(self) -> Optional[float]:
+        """Arithmetic mean, or None when empty."""
+        return self.total / self.count if self.count else None
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The q-quantile (0 <= q <= 1) over retained samples."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        index = min(int(q * len(ordered)), len(ordered) - 1)
+        return ordered[index]
+
+    def as_dict(self) -> Dict[str, object]:
+        """Serializable snapshot with standard quantile summaries."""
+        return {
+            "name": self.name,
+            "type": "histogram",
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+            "dropped": self.dropped,
+        }
+
+
+class Timer:
+    """A histogram of elapsed seconds, fed by ``with`` blocks.
+
+    Timers nest naturally — each ``with`` records its own elapsed span::
+
+        with registry.timer("filter.run"):
+            with registry.timer("filter.predict"):
+                ...
+
+    Re-entrant use of one timer object is also safe: each ``with`` keeps
+    its start time on a stack.
+    """
+
+    __slots__ = ("histogram", "_clock", "_starts")
+
+    def __init__(self, histogram: Histogram, clock: Clock):
+        self.histogram = histogram
+        self._clock = clock
+        self._starts: List[float] = []
+
+    @property
+    def name(self) -> str:
+        """The underlying histogram's name."""
+        return self.histogram.name
+
+    def __enter__(self) -> "Timer":
+        self._starts.append(self._clock())
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.histogram.observe(self._clock() - self._starts.pop())
+
+
+class Stopwatch:
+    """Accumulates wall-clock over several ``with`` sections.
+
+    The benchmark ablations time only the query-evaluation part of each
+    round; a stopwatch sums those sections without polluting a shared
+    registry::
+
+        sw = Stopwatch()
+        for round in rounds:
+            advance_world()
+            with sw:
+                evaluate()
+        print(sw.total)
+    """
+
+    __slots__ = ("total", "laps", "_clock", "_starts")
+
+    def __init__(self, clock: Clock = time.perf_counter):
+        self.total = 0.0
+        self.laps = 0
+        self._clock = clock
+        self._starts: List[float] = []
+
+    def __enter__(self) -> "Stopwatch":
+        self._starts.append(self._clock())
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.total += self._clock() - self._starts.pop()
+        self.laps += 1
+
+
+class MetricsRegistry:
+    """Name-keyed store of counters, gauges, histograms, and timers.
+
+    Instruments are created on first use and shared thereafter; names are
+    dot-separated (``"filter.predict"``, ``"cache.hits"``). One registry
+    instance is process-local state — the :mod:`repro.obs` facade owns a
+    default instance, but tests may build private ones.
+    """
+
+    def __init__(self, clock: Clock = time.perf_counter):
+        self._clock = clock
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._timers: Dict[str, Timer] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> Clock:
+        """The monotonic clock used by timers."""
+        return self._clock
+
+    def set_clock(self, clock: Clock) -> None:
+        """Swap the clock (existing timers pick it up on next use)."""
+        self._clock = clock
+        for timer in self._timers.values():
+            timer._clock = clock
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """Get or create a counter."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create a gauge."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create a histogram."""
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    def timer(self, name: str) -> Timer:
+        """Get or create a timer (backed by the same-named histogram)."""
+        instrument = self._timers.get(name)
+        if instrument is None:
+            instrument = self._timers[name] = Timer(
+                self.histogram(name), self._clock
+            )
+        return instrument
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Drop every instrument (used between runs and by tests)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self._timers.clear()
+
+    def snapshot(self) -> Dict[str, List[Dict[str, object]]]:
+        """All instruments, serialized, sorted by name."""
+        return {
+            "counters": [
+                self._counters[k].as_dict() for k in sorted(self._counters)
+            ],
+            "gauges": [
+                self._gauges[k].as_dict() for k in sorted(self._gauges)
+            ],
+            "histograms": [
+                self._histograms[k].as_dict() for k in sorted(self._histograms)
+            ],
+        }

@@ -1,0 +1,200 @@
+"""Exporters and the human-readable summary for observability data.
+
+One snapshot format is shared by every consumer::
+
+    {
+      "format": "repro-trace",
+      "version": 1,
+      "meta": {...},                      # caller-supplied context
+      "metrics": {"counters": [...], "gauges": [...], "histograms": [...]},
+      "trace": {"spans": [...], "aggregates": [...], "dropped": N}
+    }
+
+``repro simulate --trace out.json`` writes it, ``repro stats out.json``
+renders it, and benchmarks embed the ``metrics``/``aggregates`` parts in
+their bench JSON phase breakdowns.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Dict, List, Optional
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+TRACE_FORMAT = "repro-trace"
+TRACE_VERSION = 1
+
+
+def build_snapshot(
+    registry: MetricsRegistry,
+    tracer: Tracer,
+    meta: Optional[dict] = None,
+) -> dict:
+    """Assemble the canonical snapshot dict from live instruments."""
+    return {
+        "format": TRACE_FORMAT,
+        "version": TRACE_VERSION,
+        "meta": dict(meta) if meta else {},
+        "metrics": registry.snapshot(),
+        "trace": tracer.snapshot(),
+    }
+
+
+def write_json(data: dict, path: str) -> None:
+    """Write one snapshot as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def load_trace(path: str) -> dict:
+    """Read and validate a snapshot written by :func:`write_json`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or data.get("format") != TRACE_FORMAT:
+        raise ValueError(
+            f"{path} is not a repro trace file (missing format={TRACE_FORMAT!r})"
+        )
+    return data
+
+
+def metric_rows(data: dict) -> List[Dict[str, object]]:
+    """Flatten a snapshot into uniform rows (one per instrument/aggregate)."""
+    rows: List[Dict[str, object]] = []
+    metrics = data.get("metrics", {})
+    for item in metrics.get("counters", []):
+        rows.append(
+            {"kind": "counter", "name": item["name"], "value": item["value"]}
+        )
+    for item in metrics.get("gauges", []):
+        rows.append(
+            {"kind": "gauge", "name": item["name"], "value": item["value"]}
+        )
+    for item in metrics.get("histograms", []):
+        rows.append(
+            {
+                "kind": "histogram",
+                "name": item["name"],
+                "count": item["count"],
+                "total": item["total"],
+                "mean": item["mean"],
+                "min": item["min"],
+                "max": item["max"],
+                "p50": item.get("p50"),
+                "p90": item.get("p90"),
+                "p99": item.get("p99"),
+            }
+        )
+    for item in data.get("trace", {}).get("aggregates", []):
+        rows.append(
+            {
+                "kind": "span",
+                "name": item["name"],
+                "count": item["count"],
+                "total": item["total"],
+                "mean": item["mean"],
+                "min": item["min"],
+                "max": item["max"],
+            }
+        )
+    return rows
+
+
+def write_csv(data: dict, path: str) -> None:
+    """Write the flattened metric rows as CSV."""
+    columns = [
+        "kind", "name", "value", "count", "total",
+        "mean", "min", "max", "p50", "p90", "p99",
+    ]
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer.writeheader()
+        for row in metric_rows(data):
+            writer.writerow({c: row.get(c, "") for c in columns})
+
+
+# ----------------------------------------------------------------------
+# human-readable summary
+# ----------------------------------------------------------------------
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _table(rows: List[Dict[str, object]], columns: List[str]) -> List[str]:
+    widths = {
+        c: max(len(c), *(len(_fmt(r.get(c))) for r in rows)) for c in columns
+    }
+    lines = ["  ".join(c.ljust(widths[c]) for c in columns)]
+    for row in rows:
+        lines.append(
+            "  ".join(_fmt(row.get(c)).ljust(widths[c]) for c in columns)
+        )
+    return lines
+
+
+def render_summary(data: dict) -> str:
+    """Render one snapshot as aligned text tables, grouped by kind.
+
+    Sections: run metadata, counters (events: readings, pruning, cache),
+    gauges, timing histograms, and span rollups with a share-of-parent
+    column computed against the largest span total.
+    """
+    rows = metric_rows(data)
+    lines: List[str] = []
+
+    meta = data.get("meta") or {}
+    if meta:
+        lines.append("meta")
+        for key in sorted(meta):
+            lines.append(f"  {key} = {meta[key]}")
+        lines.append("")
+
+    counters = [r for r in rows if r["kind"] == "counter"]
+    if counters:
+        lines.append("counters")
+        lines.extend(_table(counters, ["name", "value"]))
+        lines.append("")
+
+    gauges = [r for r in rows if r["kind"] == "gauge"]
+    if gauges:
+        lines.append("gauges")
+        lines.extend(_table(gauges, ["name", "value"]))
+        lines.append("")
+
+    histograms = [r for r in rows if r["kind"] == "histogram"]
+    if histograms:
+        lines.append("histograms (seconds unless noted)")
+        lines.extend(
+            _table(
+                histograms,
+                ["name", "count", "total", "mean", "p50", "p90", "p99", "max"],
+            )
+        )
+        lines.append("")
+
+    spans = [r for r in rows if r["kind"] == "span"]
+    if spans:
+        grand = max((r["total"] for r in spans), default=0.0) or 1.0
+        for row in spans:
+            row["share"] = f"{100.0 * row['total'] / grand:.1f}%"
+        lines.append("spans (share is of the largest span total)")
+        lines.extend(
+            _table(spans, ["name", "count", "total", "mean", "max", "share"])
+        )
+        dropped = data.get("trace", {}).get("dropped", 0)
+        if dropped:
+            lines.append(
+                f"({dropped} spans past the retention cap; aggregates exact)"
+            )
+        lines.append("")
+
+    if not (counters or gauges or histograms or spans):
+        lines.append("(empty trace: nothing was recorded)")
+    return "\n".join(lines).rstrip("\n")

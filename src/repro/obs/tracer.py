@@ -1,0 +1,211 @@
+"""Span-based tracing.
+
+A span is one named, timed section of work; spans nest, forming a tree
+per top-level operation (one ``engine.evaluate`` span contains one
+``engine.filter`` span, which contains one ``filter.run`` span per
+candidate object, ...).
+
+The tracer keeps finished spans in a bounded list (dropping the newest
+past ``max_spans``, with an exact drop count) and *always* folds every
+span's duration into a per-name aggregate — so even a capped trace
+reports exact per-phase totals. Like the registry, it reads time through
+an injectable monotonic clock.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+Clock = Callable[[], float]
+
+#: Default retained-span cap; aggregates stay exact past it.
+DEFAULT_MAX_SPANS = 100_000
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) traced section."""
+
+    name: str
+    start: float
+    depth: int
+    parent: Optional[int]  # index of the parent span, None at the root
+    index: int
+    end: Optional[float] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Elapsed seconds, or None while still open."""
+        return None if self.end is None else self.end - self.start
+
+    def as_dict(self) -> Dict[str, object]:
+        """Serializable snapshot."""
+        return {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "depth": self.depth,
+            "parent": self.parent,
+            "index": self.index,
+            "attrs": dict(self.attrs),
+        }
+
+
+@dataclass
+class SpanAggregate:
+    """Exact per-name rollup, maintained even when spans are dropped."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: Optional[float] = None
+    max: Optional[float] = None
+
+    def add(self, duration: float) -> None:
+        """Fold one finished span in."""
+        self.count += 1
+        self.total += duration
+        if self.min is None or duration < self.min:
+            self.min = duration
+        if self.max is None or duration > self.max:
+            self.max = duration
+
+    @property
+    def mean(self) -> Optional[float]:
+        """Mean duration, or None when empty."""
+        return self.total / self.count if self.count else None
+
+    def as_dict(self) -> Dict[str, object]:
+        """Serializable snapshot."""
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class _ActiveSpan:
+    """Context manager handed out by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    @property
+    def span(self) -> Span:
+        """The underlying span record (attrs may be added while open)."""
+        return self._span
+
+    def set_attr(self, key: str, value: object) -> "_ActiveSpan":
+        """Attach an attribute to the span."""
+        self._span.attrs[key] = value
+        return self
+
+    def __enter__(self) -> "_ActiveSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._tracer._finish(self._span)
+
+
+class Tracer:
+    """Collects a tree of timed spans."""
+
+    def __init__(
+        self,
+        clock: Clock = time.perf_counter,
+        max_spans: int = DEFAULT_MAX_SPANS,
+    ):
+        self._clock = clock
+        self.max_spans = max_spans
+        self._spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._aggregates: Dict[str, SpanAggregate] = {}
+        self._next_index = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> Clock:
+        """The monotonic clock spans read."""
+        return self._clock
+
+    def set_clock(self, clock: Clock) -> None:
+        """Swap the clock."""
+        self._clock = clock
+
+    @property
+    def depth(self) -> int:
+        """Current nesting depth (0 outside any span)."""
+        return len(self._stack)
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or None."""
+        return self._stack[-1] if self._stack else None
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs: object) -> _ActiveSpan:
+        """Open a span; use as a context manager."""
+        parent = self._stack[-1].index if self._stack else None
+        span = Span(
+            name=name,
+            start=self._clock(),
+            depth=len(self._stack),
+            parent=parent,
+            index=self._next_index,
+            attrs=dict(attrs),
+        )
+        self._next_index += 1
+        self._stack.append(span)
+        return _ActiveSpan(self, span)
+
+    def _finish(self, span: Span) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            raise RuntimeError(
+                f"span {span.name!r} closed out of order; "
+                f"open stack: {[s.name for s in self._stack]}"
+            )
+        self._stack.pop()
+        span.end = self._clock()
+        aggregate = self._aggregates.get(span.name)
+        if aggregate is None:
+            aggregate = self._aggregates[span.name] = SpanAggregate(span.name)
+        aggregate.add(span.duration)
+        if len(self._spans) < self.max_spans:
+            self._spans.append(span)
+        else:
+            self.dropped += 1
+
+    # ------------------------------------------------------------------
+    def spans(self) -> List[Span]:
+        """All retained finished spans, in finish order."""
+        return list(self._spans)
+
+    def aggregates(self) -> Dict[str, SpanAggregate]:
+        """Exact per-name rollups (never affected by the span cap)."""
+        return dict(self._aggregates)
+
+    def clear(self) -> None:
+        """Drop retained spans and aggregates; open spans survive."""
+        self._spans.clear()
+        self._aggregates.clear()
+        self.dropped = 0
+
+    def snapshot(self) -> Dict[str, object]:
+        """Serializable snapshot: spans plus per-name aggregates."""
+        return {
+            "spans": [s.as_dict() for s in self._spans],
+            "aggregates": [
+                self._aggregates[k].as_dict() for k in sorted(self._aggregates)
+            ],
+            "dropped": self.dropped,
+        }

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Set
 
+import repro.obs as obs
 from repro.cache.particle_cache import ParticleCacheManager
 from repro.collector.collector import EventDrivenCollector
 from repro.collector.historical import HistoricalCollector
@@ -135,25 +136,35 @@ class IndoorQueryEngine:
         evaluation over the resulting ``APtoObjHT`` table.
         """
         generator = make_rng(rng)
-        if self.use_pruning:
-            candidates = self.optimizer.candidates(
-                self.collector, now, self._range_queries, self._knn_queries
-            )
-        else:
-            candidates = set(self.collector.observed_objects())
+        with obs.span("engine.evaluate", second=now):
+            if self.use_pruning:
+                candidates = self.optimizer.candidates(
+                    self.collector, now, self._range_queries, self._knn_queries
+                )
+            else:
+                candidates = set(self.collector.observed_objects())
 
-        table = self.preprocessing.process(
-            sorted(candidates), self.collector, now, generator
-        )
-        snapshot = EngineSnapshot(second=now, candidates=candidates, table=table)
-        for query in self._range_queries:
-            snapshot.range_results[query.query_id] = evaluate_range_query(
-                query, self.plan, self.anchor_index, table
+            with obs.span("engine.filter", candidates=len(candidates)):
+                table = self.preprocessing.process(
+                    sorted(candidates), self.collector, now, generator
+                )
+            snapshot = EngineSnapshot(
+                second=now, candidates=candidates, table=table
             )
-        for query in self._knn_queries:
-            snapshot.knn_results[query.query_id] = evaluate_knn_query(
-                query, self.graph, self.anchor_index, table
-            )
+            with obs.span("engine.query_eval"):
+                for query in self._range_queries:
+                    snapshot.range_results[query.query_id] = evaluate_range_query(
+                        query, self.plan, self.anchor_index, table
+                    )
+                for query in self._knn_queries:
+                    snapshot.knn_results[query.query_id] = evaluate_knn_query(
+                        query, self.graph, self.anchor_index, table
+                    )
+            if obs.enabled():
+                obs.add("engine.rounds")
+                obs.add("engine.range_queries", len(self._range_queries))
+                obs.add("engine.knn_queries", len(self._knn_queries))
+                obs.add("engine.objects_evaluated", len(table.objects()))
         return snapshot
 
     # ------------------------------------------------------------------

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+import repro.obs as obs
 from repro.collector.collector import EventDrivenCollector
 from repro.config import SimulationConfig
 from repro.geometry import Circle, Point
@@ -69,13 +70,22 @@ class QueryAwareOptimizer:
         knn_queries: Sequence[KNNQuery] = (),
     ) -> Set[str]:
         """The union of candidate sets over all registered queries."""
-        result: Set[str] = set()
-        objects = collector.observed_objects()
-        regions = self._uncertain_regions(collector, objects, now)
-        if range_queries:
-            result |= self.range_candidates(regions, range_queries)
-        for query in knn_queries:
-            result |= self.knn_candidates(regions, query)
+        with obs.span("prune.candidates"):
+            result: Set[str] = set()
+            objects = collector.observed_objects()
+            regions = self._uncertain_regions(collector, objects, now)
+            if range_queries:
+                result |= self.range_candidates(regions, range_queries)
+            for query in knn_queries:
+                result |= self.knn_candidates(regions, query)
+        if obs.enabled():
+            # Pruning effectiveness (paper §4.3): of the objects the
+            # collector has seen, how many survived into the candidate
+            # set that particle filtering must process?
+            obs.add("prune.rounds")
+            obs.add("prune.objects_seen", len(regions))
+            obs.add("prune.candidates_kept", len(result))
+            obs.add("prune.objects_pruned", len(regions) - len(result))
         return result
 
     def _uncertain_regions(

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+import repro.obs as obs
 from repro.config import DEFAULT_CONFIG, SimulationConfig
 from repro.queries.types import KNNQuery, RangeQuery
 from repro.sim.ground_truth import true_knn_result, true_range_result
@@ -95,7 +96,8 @@ def evaluate_accuracy(
     top2: List[bool] = []
 
     for timestamp in query_timestamps(config):
-        sim.run_until(timestamp)
+        with obs.timer("experiment.advance_world"):
+            sim.run_until(timestamp)
         positions = sim.true_positions()
         locations = sim.true_locations()
         universe = set(sim.pf_engine.collector.observed_objects())
@@ -124,8 +126,10 @@ def evaluate_accuracy(
             sim.pf_engine.register_knn_query(query)
             sim.sm_engine.register_knn_query(query)
 
-        pf_snapshot = sim.pf_engine.evaluate(timestamp, rng=sim.pf_rng)
-        sm_snapshot = sim.sm_engine.evaluate(timestamp)
+        with obs.timer("experiment.pf_evaluate"):
+            pf_snapshot = sim.pf_engine.evaluate(timestamp, rng=sim.pf_rng)
+        with obs.timer("experiment.sm_evaluate"):
+            sm_snapshot = sim.sm_engine.evaluate(timestamp)
 
         known_positions = {
             obj: pos for obj, pos in positions.items() if obj in universe
@@ -163,7 +167,10 @@ def evaluate_accuracy(
             hit_sm.append(knn_hit_rate(sm_returned, truth))
 
         if measure_topk:
-            table = sim.pf_engine.locations_snapshot(timestamp, rng=sim.pf_rng)
+            with obs.timer("experiment.topk_snapshot"):
+                table = sim.pf_engine.locations_snapshot(
+                    timestamp, rng=sim.pf_rng
+                )
             for object_id in sorted(universe):
                 distribution = table.distribution_of(object_id)
                 truth_point = positions[object_id]

@@ -102,3 +102,72 @@ class TestDemo:
         out = capsys.readouterr().out
         assert "range query" in out
         assert "3NN" in out
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+
+class TestTraceAndStats:
+    def test_simulate_trace_then_stats(self, tmp_path, capsys):
+        from repro import obs
+
+        trace = tmp_path / "trace.json"
+        code = main(
+            [
+                "simulate",
+                "--objects", "8",
+                "--seconds", "25",
+                "--seed", "5",
+                "--trace", str(trace),
+            ]
+        )
+        assert code == 0
+        assert not obs.enabled()  # the CLI turns recording back off
+        out = capsys.readouterr().out
+        assert f"trace -> {trace}" in out
+
+        data = json.loads(trace.read_text())
+        assert data["format"] == "repro-trace"
+        counter_names = {c["name"] for c in data["metrics"]["counters"]}
+        histogram_names = {h["name"] for h in data["metrics"]["histograms"]}
+        # Acceptance: filter phases, pruning counters, collector throughput.
+        assert {"filter.predict", "filter.weight"} <= histogram_names
+        assert "prune.objects_seen" in counter_names
+        assert "collector.raw_readings" in counter_names
+
+        out_csv = tmp_path / "rows.csv"
+        assert main(["stats", str(trace), "--out-csv", str(out_csv)]) == 0
+        printed = capsys.readouterr().out
+        assert "counters" in printed
+        assert "prune.objects_seen" in printed
+        assert out_csv.read_text().startswith("kind,name,value")
+
+    def test_experiment_trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        code = main(
+            [
+                "experiment", "fig9",
+                "--objects", "8",
+                "--seconds", "25",
+                "--seed", "2",
+                "--trace", str(trace),
+            ]
+        )
+        assert code == 0
+        data = json.loads(trace.read_text())
+        assert data["meta"]["figure"] == "fig9"
+        histogram_names = {h["name"] for h in data["metrics"]["histograms"]}
+        assert "experiment.pf_evaluate" in histogram_names
+
+    def test_stats_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "not_a_trace.json"
+        path.write_text('{"rows": []}')
+        with pytest.raises(ValueError):
+            main(["stats", str(path)])

@@ -76,3 +76,30 @@ class TestSymbolicDeterminism:
             a.sm_engine.range_query(window, 40).probabilities
             == b.sm_engine.range_query(window, 40).probabilities
         )
+
+
+class TestObservabilityDeterminism:
+    """Recording metrics/spans must never perturb simulation results."""
+
+    def test_tracing_does_not_change_answers(self):
+        from repro import obs
+
+        def answers():
+            sim = build_and_run()
+            window = Rect(10, 3, 25, 8)
+            range_probs = sim.pf_engine.range_query(
+                window, 40, rng=child_rng(1, "q")
+            ).probabilities
+            knn_probs = sim.pf_engine.knn_query(
+                Point(30, 5), 3, 40, rng=child_rng(2, "k")
+            ).probabilities
+            return range_probs, knn_probs, sim.true_locations()
+
+        baseline = answers()
+        obs.enable()
+        try:
+            traced = answers()
+        finally:
+            obs.disable()
+            obs.reset()
+        assert traced == baseline
