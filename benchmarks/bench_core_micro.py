@@ -9,7 +9,6 @@ evaluation algorithms.
 import numpy as np
 import pytest
 
-from repro.config import DEFAULT_CONFIG
 from repro.core import (
     CompiledAnchors,
     CompiledGraph,

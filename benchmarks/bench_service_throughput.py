@@ -1,0 +1,89 @@
+"""Service-layer throughput: replay ticks/second at varying shard counts.
+
+The online service must keep up with the sensor stream — one epoch per
+second of RFID data. This bench replays a recorded reading log through
+:class:`repro.service.TrackingService` at several shard counts and
+reports ticks/second plus the per-shard imbalance, demonstrating where
+the thread pool starts paying off (numpy releases the GIL inside the
+particle filter, so threads scale despite CPython).
+"""
+
+from _profiles import observed, profile_config, profile_name, stopwatch
+from repro.geometry import Point, Rect
+from repro.service import ReplaySource, TrackingService
+from repro.sim import Simulation
+from repro.sim.experiments import format_rows
+
+SHARD_COUNTS = (1, 2, 4, 8)
+REPLAY_SECONDS = 30
+
+
+def _record_readings(config):
+    simulation = Simulation(config, build_symbolic=False)
+    readings = []
+    for _ in range(REPLAY_SECONDS):
+        readings.extend(simulation.step())
+    return readings
+
+
+def _timed_replay(config, readings, num_shards):
+    service = TrackingService(config, num_shards=num_shards, mode="thread")
+    service.sessions.subscribe_range(Rect(4, 0, 30, 12), session_id="r0")
+    service.sessions.subscribe_knn(Point(30, 5), 3, session_id="k0")
+    watch = stopwatch()
+    deltas = 0
+    try:
+        for batch in ReplaySource(readings).batches():
+            with watch:
+                deltas += len(service.process_batch(batch))
+        tracked = len(service.snapshot().table.objects())
+    finally:
+        service.close()
+    return watch.total, deltas, tracked
+
+
+def test_service_throughput(benchmark, capsys):
+    config = profile_config()
+    readings = _record_readings(config)
+
+    def run():
+        return {
+            shards: _timed_replay(config, readings, shards)
+            for shards in SHARD_COUNTS
+        }
+
+    with observed(benchmark):
+        timings = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    serial_seconds = timings[1][0]
+    rows = []
+    for shards in SHARD_COUNTS:
+        seconds, deltas, tracked = timings[shards]
+        rows.append(
+            {
+                "shards": shards,
+                "replay_seconds": round(seconds, 3),
+                "ticks_per_sec": round(REPLAY_SECONDS / max(seconds, 1e-9), 2),
+                "speedup": round(serial_seconds / max(seconds, 1e-9), 2),
+                "deltas": deltas,
+                "tracked": tracked,
+            }
+        )
+    with capsys.disabled():
+        print()
+        print(
+            format_rows(
+                rows,
+                title=(
+                    f"Service replay throughput (profile={profile_name()}): "
+                    f"{REPLAY_SECONDS}s log, thread-sharded filter execution"
+                ),
+            )
+        )
+
+    # Shard count must not change what the service computes.
+    reference = timings[1][1:]
+    for shards in SHARD_COUNTS[1:]:
+        assert timings[shards][1:] == reference, (
+            f"shards={shards} changed results"
+        )

@@ -14,7 +14,8 @@ compares generations on lookup.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 import repro.obs as obs
@@ -51,10 +52,17 @@ class CacheStats:
 
 
 class ParticleCacheManager:
-    """Per-object particle state cache with generation-based invalidation."""
+    """Per-object particle state cache with generation-based invalidation.
+
+    Thread-safe: the sharded executor (:mod:`repro.service.shards`) shares
+    one cache across its worker threads, so lookups, stores, and the
+    statistics counters are guarded by a lock. Entries are keyed per
+    object, so concurrent shards never contend on the same entry.
+    """
 
     def __init__(self) -> None:
         self._entries: Dict[str, CachedParticleState] = {}
+        self._lock = threading.Lock()
         self.stats = CacheStats()
 
     def lookup(
@@ -65,21 +73,22 @@ class ParticleCacheManager:
         Returns ``(particles_copy, state_second)``. Stale entries (device
         generation changed) are evicted on sight.
         """
-        entry = self._entries.get(object_id)
-        if entry is None:
-            self.stats.misses += 1
-            obs.add("cache.misses")
-            return None
-        if entry.device_generation != device_generation:
-            del self._entries[object_id]
-            self.stats.invalidations += 1
-            self.stats.misses += 1
-            obs.add("cache.invalidations")
-            obs.add("cache.misses")
-            return None
-        self.stats.hits += 1
-        obs.add("cache.hits")
-        return entry.particles.copy(), entry.state_second
+        with self._lock:
+            entry = self._entries.get(object_id)
+            if entry is None:
+                self.stats.misses += 1
+                obs.add("cache.misses")
+                return None
+            if entry.device_generation != device_generation:
+                del self._entries[object_id]
+                self.stats.invalidations += 1
+                self.stats.misses += 1
+                obs.add("cache.invalidations")
+                obs.add("cache.misses")
+                return None
+            self.stats.hits += 1
+            obs.add("cache.hits")
+            return entry.particles.copy(), entry.state_second
 
     def store(
         self,
@@ -89,20 +98,57 @@ class ParticleCacheManager:
         device_generation: int,
     ) -> None:
         """Insert or replace an object's cached state (copies the particles)."""
-        self._entries[object_id] = CachedParticleState(
-            object_id=object_id,
-            particles=particles.copy(),
-            state_second=state_second,
-            device_generation=device_generation,
-        )
+        with self._lock:
+            self._entries[object_id] = CachedParticleState(
+                object_id=object_id,
+                particles=particles.copy(),
+                state_second=state_second,
+                device_generation=device_generation,
+            )
 
     def evict(self, object_id: str) -> None:
         """Drop an object's entry (no-op when absent)."""
-        self._entries.pop(object_id, None)
+        with self._lock:
+            self._entries.pop(object_id, None)
 
     def clear(self) -> None:
         """Drop all entries; statistics are preserved."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
+
+    # ------------------------------------------------------------------
+    # checkpoint support (repro.service.checkpoint)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """All entries as a JSON-safe dict (statistics are not included).
+
+        Particle arrays round-trip bit-for-bit through
+        :meth:`~repro.core.particles.ParticleSet.to_state`, which is what
+        makes a restored service resume *exactly* where it left off: a
+        resumed filter run replays the same seconds from the same state.
+        """
+        with self._lock:
+            return {
+                object_id: {
+                    "state_second": entry.state_second,
+                    "device_generation": entry.device_generation,
+                    "particles": entry.particles.to_state(),
+                }
+                for object_id, entry in self._entries.items()
+            }
+
+    def restore_state(self, state: dict) -> None:
+        """Replace all entries from :meth:`state_dict` output."""
+        with self._lock:
+            self._entries = {
+                object_id: CachedParticleState(
+                    object_id=object_id,
+                    particles=ParticleSet.from_state(entry["particles"]),
+                    state_second=int(entry["state_second"]),
+                    device_generation=int(entry["device_generation"]),
+                )
+                for object_id, entry in state.items()
+            }
 
     def __contains__(self, object_id: str) -> bool:
         return object_id in self._entries

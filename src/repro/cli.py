@@ -1,11 +1,14 @@
 """Command-line interface.
 
-Five subcommands::
+Six subcommands::
 
     repro simulate    run the simulator; export the floor plan, reader
                       deployment, and raw reading log
     repro render      draw a floor plan (and optional deployment) as ASCII
     repro experiment  regenerate one of the paper's figures (9-13)
+    repro serve       run the online tracking service over a replayed log
+                      (or live simulation): sharded filtering, standing
+                      queries, checkpoint/restore
     repro demo        a 60-second end-to-end demo with live queries
     repro stats       render the summary table of a --trace output file
 
@@ -103,6 +106,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable observability and write metrics + spans here",
     )
 
+    serve = subparsers.add_parser(
+        "serve", help="run the online tracking & query-serving service"
+    )
+    source = serve.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--replay", metavar="LOG",
+        help="replay a recorded reading log (.csv or .jsonl)",
+    )
+    source.add_argument(
+        "--live", action="store_true",
+        help="generate readings live from the simulator",
+    )
+    serve.add_argument("--plan", metavar="JSON", help="floor plan (default: paper preset)")
+    serve.add_argument(
+        "--deployment", metavar="JSON",
+        help="reader deployment (default: paper-uniform deployment)",
+    )
+    serve.add_argument(
+        "--tags", metavar="JSON",
+        help="tag-to-object mapping file (default: identity mapping)",
+    )
+    serve.add_argument("--objects", type=int, default=25, help="live mode: object count")
+    serve.add_argument("--seconds", type=int, default=None, help="max seconds to serve")
+    serve.add_argument("--seed", type=int, default=None)
+    serve.add_argument("--shards", type=int, default=1, help="filter worker shards")
+    serve.add_argument(
+        "--shard-mode", choices=["serial", "thread", "process"], default="thread",
+    )
+    serve.add_argument(
+        "--tick-rate", type=float, default=0.0, metavar="HZ",
+        help="target ticks per second (0 = as fast as possible)",
+    )
+    serve.add_argument("--no-cache", action="store_true", help="disable the particle cache")
+    serve.add_argument(
+        "--prune", action="store_true",
+        help="only filter objects relevant to standing queries",
+    )
+    serve.add_argument(
+        "--range", dest="ranges", action="append", metavar="X1,Y1,X2,Y2",
+        default=[], help="standing range query (repeatable)",
+    )
+    serve.add_argument(
+        "--knn", dest="knns", action="append", metavar="X,Y,K",
+        default=[], help="standing kNN query (repeatable)",
+    )
+    serve.add_argument(
+        "--queue-size", type=int, default=64, help="ingest queue bound (backpressure)"
+    )
+    serve.add_argument("--checkpoint", metavar="JSON", help="checkpoint output path")
+    serve.add_argument(
+        "--checkpoint-interval", type=int, default=0, metavar="TICKS",
+        help="write the checkpoint every N ticks (plus once at end)",
+    )
+    serve.add_argument(
+        "--restore", metavar="JSON", help="resume from a checkpoint file"
+    )
+    serve.add_argument("--quiet", action="store_true", help="suppress per-delta output")
+    serve.add_argument(
+        "--trace", metavar="JSON",
+        help="enable observability and write metrics + spans here",
+    )
+
     subparsers.add_parser("demo", help="run a quick end-to-end demo")
 
     stats = subparsers.add_parser(
@@ -122,6 +187,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "simulate": _cmd_simulate,
         "render": _cmd_render,
         "experiment": _cmd_experiment,
+        "serve": _cmd_serve,
         "demo": _cmd_demo,
         "stats": _cmd_stats,
     }[args.command]
@@ -251,6 +317,173 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     if args.out_csv:
         write_csv(data, args.out_csv)
         print(f"rows -> {args.out_csv}")
+    return 0
+
+
+def _parse_range_spec(text: str) -> Rect:
+    parts = text.split(",")
+    if len(parts) != 4:
+        raise SystemExit(f"repro: error: bad --range {text!r} (want X1,Y1,X2,Y2)")
+    try:
+        x1, y1, x2, y2 = (float(p) for p in parts)
+        return Rect(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+    except ValueError:
+        raise SystemExit(f"repro: error: bad --range {text!r}") from None
+
+
+def _parse_knn_spec(text: str):
+    parts = text.split(",")
+    if len(parts) != 3:
+        raise SystemExit(f"repro: error: bad --knn {text!r} (want X,Y,K)")
+    try:
+        return Point(float(parts[0]), float(parts[1])), int(parts[2])
+    except ValueError:
+        raise SystemExit(f"repro: error: bad --knn {text!r}") from None
+
+
+def _format_delta(delta) -> str:
+    parts = []
+    if delta.entered:
+        entered = ", ".join(f"{o}:{p:.2f}" for o, p in sorted(delta.entered.items()))
+        parts.append(f"+[{entered}]")
+    if delta.left:
+        parts.append(f"-[{', '.join(delta.left)}]")
+    if delta.updated:
+        updated = ", ".join(f"{o}:{p:.2f}" for o, p in sorted(delta.updated.items()))
+        parts.append(f"~[{updated}]")
+    return f"[t={delta.second}] {delta.query_id} " + " ".join(parts)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.io import load_deployment, load_floorplan
+    from repro.service import (
+        BoundedQueue,
+        EpochScheduler,
+        LiveSimSource,
+        ReplaySource,
+        SourceFeeder,
+        TrackingService,
+        restore_from_file,
+    )
+
+    tracing = _start_trace(args)
+    plan = load_floorplan(args.plan) if args.plan else None
+    readers = load_deployment(args.deployment) if args.deployment else None
+    tags = None
+    if args.tags:
+        with open(args.tags, encoding="utf-8") as handle:
+            tags = {str(k): str(v) for k, v in _json.load(handle).items()}
+
+    if args.restore:
+        service = restore_from_file(
+            args.restore,
+            plan=plan,
+            readers=readers,
+            num_shards=args.shards,
+            mode=args.shard_mode,
+            use_cache=None if not args.no_cache else False,
+        )
+        print(
+            f"restored from {args.restore}: tick {service.ticks}, "
+            f"second {service.last_second}"
+        )
+    else:
+        config = DEFAULT_CONFIG
+        if args.seed is not None:
+            config = config.with_overrides(seed=args.seed)
+        if args.live:
+            config = config.with_overrides(num_objects=args.objects)
+        service = TrackingService(
+            config,
+            plan=plan,
+            readers=readers,
+            tag_to_object=tags,
+            num_shards=args.shards,
+            mode=args.shard_mode,
+            use_cache=not args.no_cache,
+            use_pruning=args.prune,
+            seed=args.seed,
+        )
+
+    on_delta = None if args.quiet else lambda delta: print(_format_delta(delta))
+    existing = {sub.session_id for sub in service.sessions.subscriptions()}
+    if on_delta is not None:
+        for session_id in existing:
+            service.sessions.attach_callback(session_id, on_delta)
+    for index, spec in enumerate(args.ranges):
+        session_id = f"range-{index}"
+        if session_id not in existing:
+            service.sessions.subscribe_range(
+                _parse_range_spec(spec), callback=on_delta, session_id=session_id
+            )
+    for index, spec in enumerate(args.knns):
+        session_id = f"knn-{index}"
+        if session_id not in existing:
+            point, k = _parse_knn_spec(spec)
+            service.sessions.subscribe_knn(
+                point, k, callback=on_delta, session_id=session_id
+            )
+    for sub in service.sessions.subscriptions():
+        print(f"standing query {sub.describe()}")
+
+    if args.live:
+        from repro.sim import Simulation
+
+        seconds = args.seconds if args.seconds is not None else 60
+        sim = Simulation(service.config, plan=service.plan,
+                         readers=service.readers, build_symbolic=False)
+        if service.last_second is not None:
+            sim.run_until(service.last_second)
+        source = LiveSimSource(sim, seconds)
+    else:
+        source = ReplaySource.from_file(
+            args.replay,
+            start_after=service.last_second,
+            max_seconds=args.seconds,
+        )
+
+    queue = BoundedQueue(maxsize=args.queue_size)
+    feeder = SourceFeeder(source, queue)
+    scheduler = EpochScheduler(
+        service,
+        queue,
+        tick_interval=(1.0 / args.tick_rate) if args.tick_rate > 0 else 0.0,
+        checkpoint_path=args.checkpoint,
+        checkpoint_interval=args.checkpoint_interval,
+    )
+    feeder.start()
+    try:
+        ticks = scheduler.run()
+    finally:
+        queue.close()
+        feeder.join(timeout=10.0)
+        service.close()
+    if feeder.error is not None:
+        print(f"repro: ingest error: {feeder.error}", file=sys.stderr)
+        return 1
+
+    snap = service.snapshot()
+    delivered = sum(s.deltas_delivered for s in service.sessions.subscriptions())
+    print(
+        f"served {ticks} ticks (through second {service.last_second}), "
+        f"tracking {len(snap.table.objects())} objects, "
+        f"{len(service.sessions)} standing queries, "
+        f"{delivered} deltas delivered"
+    )
+    if args.checkpoint and scheduler.checkpoints_written:
+        print(f"checkpoint -> {args.checkpoint}")
+    if tracing:
+        _finish_trace(
+            args,
+            meta={
+                "command": "serve",
+                "shards": args.shards,
+                "mode": args.shard_mode,
+                "ticks": ticks,
+            },
+        )
     return 0
 
 

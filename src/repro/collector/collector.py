@@ -144,6 +144,10 @@ class EventDrivenCollector:
         """
         self._tag_to_object.update(tag_to_object)
 
+    def knows_tag(self, tag_id: str) -> bool:
+        """True when a tag is registered (its readings are not ignored)."""
+        return tag_id in self._tag_to_object
+
     def ingest_second(self, second: int, raw_readings: Iterable[RawReading]) -> None:
         """Aggregate and store one second of raw readings."""
         if self._last_ingested_second is not None and second <= self._last_ingested_second:
@@ -223,3 +227,66 @@ class EventDrivenCollector:
     def events_for(self, object_id: str) -> List[ObservationEvent]:
         """Events of one object, in order."""
         return [e for e in self._events if e.object_id == object_id]
+
+    # ------------------------------------------------------------------
+    # checkpoint support (repro.service.checkpoint)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Full collector state as a JSON-safe dict.
+
+        Captures everything :meth:`restore_state` needs to resume
+        ingestion mid-stream with identical behavior: retained device
+        runs, device generations, the event log, the tag registry, and
+        the last ingested second.
+        """
+        return {
+            "max_runs": self._max_runs,
+            "last_ingested_second": self._last_ingested_second,
+            "tag_to_object": dict(self._tag_to_object),
+            "generations": dict(self._generation),
+            "runs": {
+                object_id: [
+                    {"reader_id": run.reader_id, "seconds": list(run.seconds)}
+                    for run in runs
+                ]
+                for object_id, runs in self._runs.items()
+            },
+            "events": [
+                {
+                    "kind": event.kind.value,
+                    "object_id": event.object_id,
+                    "reader_id": event.reader_id,
+                    "second": event.second,
+                }
+                for event in self._events
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite this collector's state from :meth:`state_dict` output."""
+        self._max_runs = int(state["max_runs"])
+        last = state["last_ingested_second"]
+        self._last_ingested_second = None if last is None else int(last)
+        self._tag_to_object = dict(state["tag_to_object"])
+        self._generation = {
+            obj: int(gen) for obj, gen in state["generations"].items()
+        }
+        self._runs = {
+            object_id: [
+                DeviceRun(
+                    reader_id=run["reader_id"],
+                    seconds=[int(s) for s in run["seconds"]],
+                )
+                for run in runs
+            ]
+            for object_id, runs in state["runs"].items()
+        }
+        self._events = [
+            ObservationEvent(
+                EventKind(event["kind"]),
+                event["object_id"],
+                event["reader_id"],
+                int(event["second"]),
+            )
+            for event in state["events"]
+        ]

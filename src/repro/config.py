@@ -19,7 +19,7 @@ driven by one explicit, serializable configuration object.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, asdict, replace
+from dataclasses import dataclass, asdict, replace
 from typing import Any, Dict
 
 

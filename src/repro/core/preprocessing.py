@@ -8,7 +8,7 @@ query evaluation module reads.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
 import repro.obs as obs
 from repro.collector.collector import EventDrivenCollector
@@ -19,7 +19,6 @@ from repro.core.filter import ParticleFilter
 from repro.core.resampling import systematic_resample
 from repro.graph.anchors import AnchorIndex
 from repro.graph.walking_graph import WalkingGraph
-from repro.rfid.reader import RFIDReader
 from repro.rng import RngLike, make_rng
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -58,15 +57,23 @@ class PreprocessingModule:
         collector: EventDrivenCollector,
         current_second: int,
         rng: RngLike = None,
+        rng_factory: Optional[Callable[[str], RngLike]] = None,
     ):
         """Filter every candidate and return a fresh ``APtoObjHT`` table.
 
         Objects with no reading history are skipped — the system has no
         evidence about them (they have not yet entered any reader's range).
+
+        ``rng_factory`` (when given) supplies an independent generator per
+        object id instead of threading one shared ``rng`` stream through
+        every filter run. Per-object streams make the result independent
+        of candidate *ordering and partitioning*, which is what lets the
+        sharded executor (:mod:`repro.service.shards`) produce bit-identical
+        tables at any shard count.
         """
         from repro.index.hashtable import AnchorObjectTable
 
-        generator = make_rng(rng)
+        generator = make_rng(rng) if rng_factory is None else None
         table = AnchorObjectTable()
         for object_id in candidates:
             history = collector.history(object_id)
@@ -77,8 +84,11 @@ class PreprocessingModule:
             generation = collector.device_generation(object_id)
             if self.cache is not None:
                 resume = self.cache.lookup(object_id, generation)
+            object_rng = (
+                generator if rng_factory is None else make_rng(rng_factory(object_id))
+            )
             result = self.filter.run(
-                history, current_second, rng=generator, resume=resume
+                history, current_second, rng=object_rng, resume=resume
             )
             if self.cache is not None:
                 self.cache.store(

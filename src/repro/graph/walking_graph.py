@@ -17,7 +17,6 @@ from edge offsets plus node distances.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, Iterable, List, Optional, Tuple
 
 import networkx as nx

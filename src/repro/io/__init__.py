@@ -19,8 +19,12 @@ from repro.io.deployment_json import (
     save_deployment,
 )
 from repro.io.readings_csv import (
+    group_readings_by_second,
+    load_readings,
     read_readings_csv,
+    read_readings_jsonl,
     write_readings_csv,
+    write_readings_jsonl,
 )
 from repro.io.results_io import (
     load_rows_json,
@@ -39,6 +43,10 @@ __all__ = [
     "load_deployment",
     "write_readings_csv",
     "read_readings_csv",
+    "write_readings_jsonl",
+    "read_readings_jsonl",
+    "load_readings",
+    "group_readings_by_second",
     "save_rows_csv",
     "save_rows_json",
     "load_rows_json",

@@ -1,12 +1,17 @@
-"""Raw RFID reading logs as CSV.
+"""Raw RFID reading logs as CSV or JSON Lines.
 
-The on-disk format matches what a reader middleware typically exports:
-one row per detection sample, ``time,tag_id,reader_id``, sorted by time.
+The CSV format matches what a reader middleware typically exports: one
+row per detection sample, ``time,tag_id,reader_id``, sorted by time. The
+JSONL variant stores the same three fields one JSON object per line —
+the framing used by streaming middlewares that emit newline-delimited
+events. ``load_readings`` dispatches on file extension so replay tooling
+(``repro serve --replay``) accepts either.
 """
 
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
 from typing import Iterable, List, Union
 
@@ -56,6 +61,62 @@ def read_readings_csv(path: PathLike) -> List[RawReading]:
             readings.append(RawReading(time=time, tag_id=tag_id, reader_id=reader_id))
     readings.sort()
     return readings
+
+
+def write_readings_jsonl(readings: Iterable[RawReading], path: PathLike) -> None:
+    """Write raw readings as JSON Lines (one object per sample)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for reading in readings:
+            handle.write(
+                json.dumps(
+                    {
+                        "time": round(reading.time, 6),
+                        "tag_id": reading.tag_id,
+                        "reader_id": reading.reader_id,
+                    }
+                )
+            )
+            handle.write("\n")
+
+
+def read_readings_jsonl(path: PathLike) -> List[RawReading]:
+    """Read raw readings from a JSON Lines file, validating each record."""
+    readings = []
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_number}: bad JSON: {exc}") from None
+            try:
+                reading = RawReading(
+                    time=float(record["time"]),
+                    tag_id=str(record["tag_id"]),
+                    reader_id=str(record["reader_id"]),
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: bad reading record: {exc}"
+                ) from None
+            readings.append(reading)
+    readings.sort()
+    return readings
+
+
+def load_readings(path: PathLike) -> List[RawReading]:
+    """Load a reading log, dispatching on extension (.csv or .jsonl/.ndjson)."""
+    suffix = Path(path).suffix.lower()
+    if suffix in (".jsonl", ".ndjson"):
+        return read_readings_jsonl(path)
+    if suffix == ".csv":
+        return read_readings_csv(path)
+    raise ValueError(
+        f"{path}: unsupported reading-log extension {suffix!r} "
+        "(expected .csv, .jsonl, or .ndjson)"
+    )
 
 
 def group_readings_by_second(readings: Iterable[RawReading]):

@@ -18,6 +18,7 @@ instruments with a fake clock and get byte-stable output.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Callable, Dict, List, Optional
 
@@ -29,19 +30,22 @@ DEFAULT_MAX_SAMPLES = 65536
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count. Safe to increment from worker
+    threads (the service's sharded filter executor)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
         """Add ``amount`` (must be non-negative)."""
         if amount < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def as_dict(self) -> Dict[str, object]:
         """Serializable snapshot."""
@@ -78,7 +82,7 @@ class Histogram:
     """
 
     __slots__ = ("name", "count", "total", "min", "max", "dropped",
-                 "max_samples", "_samples")
+                 "max_samples", "_samples", "_lock")
 
     def __init__(self, name: str, max_samples: int = DEFAULT_MAX_SAMPLES):
         self.name = name
@@ -89,20 +93,22 @@ class Histogram:
         self.dropped = 0
         self.max_samples = max_samples
         self._samples: List[float] = []
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        """Record one sample."""
+        """Record one sample (thread-safe)."""
         value = float(value)
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
-        if len(self._samples) < self.max_samples:
-            self._samples.append(value)
-        else:
-            self.dropped += 1
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            if len(self._samples) < self.max_samples:
+                self._samples.append(value)
+            else:
+                self.dropped += 1
 
     @property
     def mean(self) -> Optional[float]:

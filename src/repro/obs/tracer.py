@@ -10,10 +10,16 @@ past ``max_spans``, with an exact drop count) and *always* folds every
 span's duration into a per-name aggregate — so even a capped trace
 reports exact per-phase totals. Like the registry, it reads time through
 an injectable monotonic clock.
+
+Nesting is tracked per thread: each thread has its own open-span stack,
+so spans opened inside a worker pool (the service's sharded filter
+executor) form their own trees instead of corrupting the main thread's.
+Finished spans and aggregates land in shared, lock-guarded storage.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
@@ -128,10 +134,18 @@ class Tracer:
         self._clock = clock
         self.max_spans = max_spans
         self._spans: List[Span] = []
-        self._stack: List[Span] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
         self._aggregates: Dict[str, SpanAggregate] = {}
         self._next_index = 0
         self.dropped = 0
+
+    @property
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # ------------------------------------------------------------------
     @property
@@ -145,67 +159,77 @@ class Tracer:
 
     @property
     def depth(self) -> int:
-        """Current nesting depth (0 outside any span)."""
+        """Current nesting depth in this thread (0 outside any span)."""
         return len(self._stack)
 
     def current(self) -> Optional[Span]:
-        """The innermost open span, or None."""
+        """This thread's innermost open span, or None."""
         return self._stack[-1] if self._stack else None
 
     # ------------------------------------------------------------------
     def span(self, name: str, **attrs: object) -> _ActiveSpan:
         """Open a span; use as a context manager."""
-        parent = self._stack[-1].index if self._stack else None
+        stack = self._stack
+        parent = stack[-1].index if stack else None
+        with self._lock:
+            index = self._next_index
+            self._next_index += 1
         span = Span(
             name=name,
             start=self._clock(),
-            depth=len(self._stack),
+            depth=len(stack),
             parent=parent,
-            index=self._next_index,
+            index=index,
             attrs=dict(attrs),
         )
-        self._next_index += 1
-        self._stack.append(span)
+        stack.append(span)
         return _ActiveSpan(self, span)
 
     def _finish(self, span: Span) -> None:
-        if not self._stack or self._stack[-1] is not span:
+        stack = self._stack
+        if not stack or stack[-1] is not span:
             raise RuntimeError(
                 f"span {span.name!r} closed out of order; "
-                f"open stack: {[s.name for s in self._stack]}"
+                f"open stack: {[s.name for s in stack]}"
             )
-        self._stack.pop()
+        stack.pop()
         span.end = self._clock()
-        aggregate = self._aggregates.get(span.name)
-        if aggregate is None:
-            aggregate = self._aggregates[span.name] = SpanAggregate(span.name)
-        aggregate.add(span.duration)
-        if len(self._spans) < self.max_spans:
-            self._spans.append(span)
-        else:
-            self.dropped += 1
+        with self._lock:
+            aggregate = self._aggregates.get(span.name)
+            if aggregate is None:
+                aggregate = self._aggregates[span.name] = SpanAggregate(span.name)
+            aggregate.add(span.duration)
+            if len(self._spans) < self.max_spans:
+                self._spans.append(span)
+            else:
+                self.dropped += 1
 
     # ------------------------------------------------------------------
     def spans(self) -> List[Span]:
         """All retained finished spans, in finish order."""
-        return list(self._spans)
+        with self._lock:
+            return list(self._spans)
 
     def aggregates(self) -> Dict[str, SpanAggregate]:
         """Exact per-name rollups (never affected by the span cap)."""
-        return dict(self._aggregates)
+        with self._lock:
+            return dict(self._aggregates)
 
     def clear(self) -> None:
         """Drop retained spans and aggregates; open spans survive."""
-        self._spans.clear()
-        self._aggregates.clear()
-        self.dropped = 0
+        with self._lock:
+            self._spans.clear()
+            self._aggregates.clear()
+            self.dropped = 0
 
     def snapshot(self) -> Dict[str, object]:
         """Serializable snapshot: spans plus per-name aggregates."""
-        return {
-            "spans": [s.as_dict() for s in self._spans],
-            "aggregates": [
-                self._aggregates[k].as_dict() for k in sorted(self._aggregates)
-            ],
-            "dropped": self.dropped,
-        }
+        with self._lock:
+            return {
+                "spans": [s.as_dict() for s in self._spans],
+                "aggregates": [
+                    self._aggregates[k].as_dict()
+                    for k in sorted(self._aggregates)
+                ],
+                "dropped": self.dropped,
+            }

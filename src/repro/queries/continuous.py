@@ -85,6 +85,17 @@ class ContinuousQueryMonitor:
         """Ids of all monitored queries."""
         return list(self._last_results.keys())
 
+    def remove_query(self, query_id: str) -> bool:
+        """Stop monitoring a query mid-stream.
+
+        Unregisters it from the engine and drops its diff state, so a
+        re-added query with the same id starts fresh (everything present
+        reports as ``entered`` again). Returns True when the query was
+        being monitored.
+        """
+        self.engine.unregister_query(query_id)
+        return self._last_results.pop(query_id, None) is not None
+
     # ------------------------------------------------------------------
     # evaluation
     # ------------------------------------------------------------------
@@ -128,3 +139,29 @@ class ContinuousQueryMonitor:
     def current_result(self, query_id: str) -> Dict[str, float]:
         """The last reported result of a monitored query."""
         return dict(self._last_results.get(query_id, {}))
+
+    # ------------------------------------------------------------------
+    # checkpoint support (repro.service.checkpoint)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The monitor's diff baseline as a JSON-safe dict."""
+        return {
+            "last_second": self._last_second,
+            "last_results": {
+                query_id: dict(results)
+                for query_id, results in self._last_results.items()
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore the diff baseline saved by :meth:`state_dict`.
+
+        Without this, the first tick after a warm restart would re-report
+        every object already in a result as freshly ``entered``.
+        """
+        last = state["last_second"]
+        self._last_second = None if last is None else int(last)
+        self._last_results = {
+            query_id: {obj: float(p) for obj, p in results.items()}
+            for query_id, results in state["last_results"].items()
+        }

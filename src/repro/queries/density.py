@@ -11,7 +11,7 @@ zone).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional
+from typing import List, Mapping, Optional
 
 from repro.floorplan.plan import FloorPlan
 from repro.geometry import Rect

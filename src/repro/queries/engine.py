@@ -115,6 +115,20 @@ class IndoorQueryEngine:
         self._range_queries.clear()
         self._knn_queries.clear()
 
+    def unregister_query(self, query_id: str) -> bool:
+        """Drop one registered query (range or kNN) by id.
+
+        Returns True when a query was removed. Standing-query sessions
+        (:mod:`repro.service.sessions`) rely on this to cancel
+        subscriptions without disturbing the other registered queries.
+        """
+        for queries in (self._range_queries, self._knn_queries):
+            for index, query in enumerate(queries):
+                if query.query_id == query_id:
+                    del queries[index]
+                    return True
+        return False
+
     @property
     def range_queries(self) -> List[RangeQuery]:
         """Currently registered range queries."""
@@ -128,6 +142,19 @@ class IndoorQueryEngine:
     # ------------------------------------------------------------------
     # evaluation
     # ------------------------------------------------------------------
+    def step(
+        self, second: int, raw_readings: Sequence[RawReading], rng: RngLike = None
+    ) -> EngineSnapshot:
+        """One full pipeline tick: ingest one second, then evaluate it.
+
+        This is the per-tick unit the online service layer
+        (:mod:`repro.service`) schedules repeatedly; the batch simulator
+        drives exactly the same ingest/evaluate code, just from its own
+        loop.
+        """
+        self.ingest_second(second, raw_readings)
+        return self.evaluate(second, rng)
+
     def evaluate(self, now: int, rng: RngLike = None) -> EngineSnapshot:
         """Answer every registered query at time ``now``.
 

@@ -21,7 +21,7 @@ prune a true candidate.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Set, Tuple
 
 import repro.obs as obs
 from repro.collector.collector import EventDrivenCollector

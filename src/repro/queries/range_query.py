@@ -21,7 +21,6 @@ window edge falls between two anchors.
 
 from __future__ import annotations
 
-from typing import Iterable
 
 from repro.floorplan.entities import Hallway
 from repro.floorplan.plan import FloorPlan

@@ -1,0 +1,64 @@
+"""repro.service — online tracking and query serving.
+
+Turns the offline batch pipeline into a continuously-running service
+(paper Section 6 future work; Hui et al. 2022): raw RFID readings stream
+in, per-object particle filters are stepped every epoch tick across a
+shard pool, and standing range/kNN query sessions receive result deltas
+as objects move. The layers compose left to right::
+
+    ingest  ->  scheduler  ->  shards  ->  sessions
+      |             |             |            |
+   bounded      epoch tick    parallel     standing-query
+   replay /     loop, inj.    per-object   subscriptions,
+   live queue   clock         filtering    delta fan-out
+                       \\
+                        checkpoint (warm restart)
+
+Determinism guarantee: every filter run draws from a private RNG stream
+derived from ``(seed, second, object_id)`` via :mod:`repro.rng`, so the
+published anchor-point tables, the delta streams, and the final particle
+states are bit-identical at **any** shard count, and a checkpoint →
+restore → resume sequence reproduces an uninterrupted run tick-for-tick.
+"""
+
+from repro.service.checkpoint import (
+    CHECKPOINT_FORMAT,
+    load_checkpoint,
+    restore_from_file,
+    restore_service,
+    save_checkpoint,
+)
+from repro.service.ingest import (
+    BoundedQueue,
+    LiveSimSource,
+    ReadingBatch,
+    ReplaySource,
+    SourceFeeder,
+)
+from repro.service.scheduler import EpochScheduler, ManualClock, SystemClock
+from repro.service.sessions import SessionManager, Subscription
+from repro.service.shards import ShardedFilterExecutor, partition_objects, shard_of
+from repro.service.tracking import ServiceSnapshot, TrackingService
+
+__all__ = [
+    "BoundedQueue",
+    "CHECKPOINT_FORMAT",
+    "EpochScheduler",
+    "LiveSimSource",
+    "ManualClock",
+    "ReadingBatch",
+    "ReplaySource",
+    "ServiceSnapshot",
+    "SessionManager",
+    "ShardedFilterExecutor",
+    "SourceFeeder",
+    "Subscription",
+    "SystemClock",
+    "TrackingService",
+    "load_checkpoint",
+    "partition_objects",
+    "restore_from_file",
+    "restore_service",
+    "save_checkpoint",
+    "shard_of",
+]

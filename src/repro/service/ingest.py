@@ -1,0 +1,195 @@
+"""Streaming reading ingest: sources, batching, and backpressure.
+
+A *reading source* yields :class:`ReadingBatch` objects — one second of
+raw readings each, in strictly increasing time order. Two sources ship:
+
+* :class:`ReplaySource` — replays a recorded log (CSV or JSONL, via
+  :mod:`repro.io.readings_csv`), optionally skipping a prefix so a
+  restored service resumes exactly where its checkpoint left off;
+* :class:`LiveSimSource` — generates readings live from a
+  :class:`~repro.sim.simulator.Simulation`, one tick per batch.
+
+Between the source and the scheduler sits a :class:`BoundedQueue`: a
+small blocking queue that applies backpressure to the producer when the
+filter pipeline falls behind, instead of buffering unboundedly. A
+:class:`SourceFeeder` thread drains a source into the queue so ingest
+and filtering overlap.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+import repro.obs as obs
+from repro.io.readings_csv import group_readings_by_second, load_readings
+from repro.rfid.readings import RawReading
+
+
+@dataclass(frozen=True)
+class ReadingBatch:
+    """One epoch of ingest: every raw reading of one wall-clock second."""
+
+    second: int
+    readings: Tuple[RawReading, ...] = field(default_factory=tuple)
+
+    def __len__(self) -> int:
+        return len(self.readings)
+
+
+class ReplaySource:
+    """Replays a recorded reading log second by second.
+
+    ``start_after`` skips all batches up to and including that second —
+    the restore path sets it to the checkpoint's last processed second
+    so the resumed stream continues seamlessly.
+    """
+
+    def __init__(
+        self,
+        readings: List[RawReading],
+        start_after: Optional[int] = None,
+        max_seconds: Optional[int] = None,
+    ):
+        self._readings = list(readings)
+        self.start_after = start_after
+        self.max_seconds = max_seconds
+
+    @classmethod
+    def from_file(
+        cls,
+        path,
+        start_after: Optional[int] = None,
+        max_seconds: Optional[int] = None,
+    ) -> "ReplaySource":
+        """Load a CSV/JSONL log (dispatch on extension) into a source."""
+        return cls(load_readings(path), start_after=start_after, max_seconds=max_seconds)
+
+    def batches(self) -> Iterator[ReadingBatch]:
+        """Yield one batch per recorded second, in time order."""
+        emitted = 0
+        for second, batch in group_readings_by_second(self._readings):
+            if self.start_after is not None and second <= self.start_after:
+                continue
+            if self.max_seconds is not None and emitted >= self.max_seconds:
+                return
+            emitted += 1
+            yield ReadingBatch(second=second, readings=tuple(batch))
+
+    def __iter__(self) -> Iterator[ReadingBatch]:
+        return self.batches()
+
+
+class LiveSimSource:
+    """Generates batches live from a simulation, one tick at a time.
+
+    Lets ``repro serve --live`` run the full online service without a
+    pre-recorded log: each batch is produced on demand by
+    :meth:`~repro.sim.simulator.Simulation.step`.
+    """
+
+    def __init__(self, simulation, seconds: int):
+        if seconds < 1:
+            raise ValueError("seconds must be >= 1")
+        self.simulation = simulation
+        self.seconds = seconds
+
+    def batches(self) -> Iterator[ReadingBatch]:
+        """Advance the simulation one second per yielded batch."""
+        for _ in range(self.seconds):
+            readings = self.simulation.step()
+            yield ReadingBatch(
+                second=self.simulation.now, readings=tuple(readings)
+            )
+
+    def __iter__(self) -> Iterator[ReadingBatch]:
+        return self.batches()
+
+
+class BoundedQueue:
+    """A small blocking FIFO with backpressure and close semantics.
+
+    ``put`` blocks while the queue is full (the producer slows to the
+    pipeline's pace); ``get`` blocks while it is empty and returns
+    ``None`` once the queue is closed *and* drained. Depth is exported
+    as the ``service.queue_depth`` gauge, and every producer stall bumps
+    ``service.queue_backpressure_waits``.
+    """
+
+    def __init__(self, maxsize: int = 64):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._items: deque = deque()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+
+    def put(self, item: ReadingBatch, timeout: Optional[float] = None) -> bool:
+        """Enqueue, blocking while full. Returns False if closed/timed out."""
+        with self._not_full:
+            if len(self._items) >= self.maxsize:
+                obs.add("service.queue_backpressure_waits")
+            while len(self._items) >= self.maxsize and not self._closed:
+                if not self._not_full.wait(timeout):
+                    return False
+            if self._closed:
+                return False
+            self._items.append(item)
+            obs.gauge_set("service.queue_depth", len(self._items))
+            self._not_empty.notify()
+            return True
+
+    def get(self, timeout: Optional[float] = None) -> Optional[ReadingBatch]:
+        """Dequeue, blocking while empty. ``None`` means closed and drained."""
+        with self._not_empty:
+            while not self._items and not self._closed:
+                if not self._not_empty.wait(timeout):
+                    return None
+            if not self._items:
+                return None
+            item = self._items.popleft()
+            obs.gauge_set("service.queue_depth", len(self._items))
+            self._not_full.notify()
+            return item
+
+    def close(self) -> None:
+        """Mark the stream finished; blocked producers/consumers wake up."""
+        with self._lock:
+            self._closed = True
+            self._not_full.notify_all()
+            self._not_empty.notify_all()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+
+class SourceFeeder(threading.Thread):
+    """Background thread pumping a reading source into a bounded queue.
+
+    Closes the queue when the source is exhausted (or on error, after
+    recording it), so the consuming scheduler terminates cleanly.
+    """
+
+    def __init__(self, source, queue: BoundedQueue):
+        super().__init__(name="repro-ingest-feeder", daemon=True)
+        self.source = source
+        self.queue = queue
+        self.batches_fed = 0
+        self.error: Optional[BaseException] = None
+
+    def run(self) -> None:
+        try:
+            for batch in self.source.batches():
+                if not self.queue.put(batch):
+                    break
+                self.batches_fed += 1
+                obs.add("service.batches_ingested")
+        except BaseException as exc:  # surfaced to the caller via .error
+            self.error = exc
+        finally:
+            self.queue.close()

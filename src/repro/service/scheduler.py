@@ -1,0 +1,111 @@
+"""The epoch tick loop.
+
+Pulls reading batches off the ingest queue and drives one service tick
+per batch: collector ingest → sharded filter step → snapshot publish →
+session delta fan-out. Wall-clock pacing is decoupled from the pipeline
+through an injectable clock, so tests (and full-speed replays) run the
+identical code path with no real sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import repro.obs as obs
+from repro.service.ingest import BoundedQueue
+
+
+class SystemClock:
+    """Real monotonic time (production pacing)."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class ManualClock:
+    """Deterministic clock for tests: ``sleep`` just advances ``now``."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self.sleeps: list = []
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            self.sleeps.append(seconds)
+            self._now += seconds
+
+    def advance(self, seconds: float) -> None:
+        self._now += seconds
+
+
+class EpochScheduler:
+    """Drives a :class:`~repro.service.tracking.TrackingService` from a queue.
+
+    ``tick_interval`` is the target wall-clock seconds per tick (0 means
+    run flat out — the replay/benchmark mode). ``checkpoint_path`` plus
+    ``checkpoint_interval`` N write a warm-restart checkpoint every N
+    ticks (and a final one when the stream ends).
+    """
+
+    def __init__(
+        self,
+        service,
+        queue: BoundedQueue,
+        tick_interval: float = 0.0,
+        clock=None,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_interval: int = 0,
+    ):
+        if tick_interval < 0:
+            raise ValueError("tick_interval must be non-negative")
+        if checkpoint_interval < 0:
+            raise ValueError("checkpoint_interval must be non-negative")
+        self.service = service
+        self.queue = queue
+        self.tick_interval = tick_interval
+        self.clock = clock if clock is not None else SystemClock()
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_interval = checkpoint_interval
+        self.ticks_run = 0
+        self.checkpoints_written = 0
+
+    def run(self, max_ticks: Optional[int] = None) -> int:
+        """Consume batches until the queue closes (or ``max_ticks``).
+
+        Returns the number of ticks processed by this call.
+        """
+        from repro.service.checkpoint import save_checkpoint
+
+        processed = 0
+        while max_ticks is None or processed < max_ticks:
+            batch = self.queue.get()
+            if batch is None:
+                break
+            started = self.clock.now()
+            self.service.process_batch(batch)
+            elapsed = self.clock.now() - started
+            obs.observe("service.tick_latency", elapsed)
+            obs.add("service.ticks")
+            processed += 1
+            self.ticks_run += 1
+            if (
+                self.checkpoint_path is not None
+                and self.checkpoint_interval > 0
+                and self.ticks_run % self.checkpoint_interval == 0
+            ):
+                save_checkpoint(self.service, self.checkpoint_path)
+                self.checkpoints_written += 1
+            if self.tick_interval > 0:
+                self.clock.sleep(self.tick_interval - elapsed)
+        if self.checkpoint_path is not None and processed:
+            save_checkpoint(self.service, self.checkpoint_path)
+            self.checkpoints_written += 1
+        return processed

@@ -1,0 +1,266 @@
+"""Sharded per-object filter execution.
+
+Moving objects are partitioned across a worker pool so per-object
+particle filter steps run in parallel. The partition is a stable hash of
+the object id (:func:`shard_of`), so an object always lands on the same
+shard for a given shard count.
+
+Determinism: every filter run draws from a private generator derived
+from ``(seed, second, object_id)`` (:func:`repro.rng.child_rng`), never
+from a stream shared between objects. Filter output therefore does not
+depend on which shard an object landed on, in what order a shard
+processed its objects, or how the OS interleaved the workers — a replay
+with 1 shard and with 4 shards produces bit-identical tables.
+
+Modes:
+
+* ``"serial"`` — shards run inline, in shard order (debug baseline);
+* ``"thread"`` — one task per shard on a thread pool (numpy releases
+  the GIL in the hot kernels); shares the particle cache with the
+  serial path, so serial and thread results are identical;
+* ``"process"`` — one task per shard on a fork-based process pool.
+  Workers are cache-less (a parent-side cache cannot be kept coherent
+  across address spaces cheaply), so every run is a cold run: still
+  deterministic at any shard count, but a different (cache-free) stream
+  than thread/serial mode.
+"""
+
+from __future__ import annotations
+
+import itertools
+import zlib
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import repro.obs as obs
+from repro.collector.collector import DeviceRun, ReadingHistory
+from repro.config import SimulationConfig
+from repro.core.discretize import particles_to_anchor_distribution
+from repro.core.preprocessing import PreprocessingModule
+from repro.index.hashtable import AnchorObjectTable
+from repro.rng import child_rng
+
+_MODES = ("serial", "thread", "process")
+
+#: Process-mode worker state, inherited by forked workers: maps an
+#: executor key to its cache-less preprocessing module. Populated in the
+#: parent *before* the pool forks, read-only in the children.
+_FORK_REGISTRY: Dict[int, PreprocessingModule] = {}
+_EXECUTOR_KEYS = itertools.count(1)
+
+
+def shard_of(object_id: str, num_shards: int) -> int:
+    """Stable shard assignment: CRC32 of the id, modulo the shard count."""
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    return zlib.crc32(object_id.encode("utf-8")) % num_shards
+
+
+def partition_objects(
+    objects: Sequence[str], num_shards: int
+) -> List[List[str]]:
+    """Partition object ids into ``num_shards`` sorted lists."""
+    shards: List[List[str]] = [[] for _ in range(num_shards)]
+    for object_id in sorted(objects):
+        shards[shard_of(object_id, num_shards)].append(object_id)
+    return shards
+
+
+def _run_process_shard(payload) -> List[Tuple[str, Dict[int, float]]]:
+    """Process-pool worker: cold-filter one shard's objects.
+
+    Runs in a forked child; the preprocessing module is found in the
+    fork-inherited :data:`_FORK_REGISTRY`. Reading histories travel in
+    the payload because the parent's collector keeps evolving after the
+    fork.
+    """
+    key, second, seed, object_states = payload
+    pp = _FORK_REGISTRY[key]
+    results: List[Tuple[str, Dict[int, float]]] = []
+    for object_id, runs in object_states:
+        history = ReadingHistory(
+            object_id=object_id,
+            runs=tuple(
+                DeviceRun(reader_id=r["reader_id"], seconds=list(r["seconds"]))
+                for r in runs
+            ),
+        )
+        rng = child_rng(seed, f"pf:{second}:{object_id}")
+        result = pp.filter.run(history, second, rng=rng)
+        distribution = particles_to_anchor_distribution(
+            result.particles, pp.compiled_graph, pp.compiled_anchors
+        )
+        results.append((object_id, distribution))
+    return results
+
+
+class ShardedFilterExecutor:
+    """Runs the per-object filter step of one tick across a shard pool."""
+
+    def __init__(
+        self,
+        graph,
+        anchor_index,
+        readers,
+        config: SimulationConfig,
+        num_shards: int = 1,
+        mode: str = "thread",
+        use_cache: bool = True,
+        seed: Optional[int] = None,
+        resampler=None,
+    ):
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        self.num_shards = num_shards
+        self.mode = mode
+        self.seed = seed if seed is not None else config.seed
+        from repro.cache.particle_cache import ParticleCacheManager
+        from repro.core.resampling import systematic_resample
+
+        resampler = resampler if resampler is not None else systematic_resample
+        self.cache = ParticleCacheManager() if (use_cache and mode != "process") else None
+        self.preprocessing = PreprocessingModule(
+            graph, anchor_index, readers, config,
+            cache=self.cache, resampler=resampler,
+        )
+        self._thread_pool: Optional[ThreadPoolExecutor] = None
+        self._process_pool: Optional[ProcessPoolExecutor] = None
+        self._key = next(_EXECUTOR_KEYS)
+        if mode == "process":
+            self._init_process_pool()
+
+    # ------------------------------------------------------------------
+    def rng_for(self, second: int, object_id: str):
+        """The private generator of one object's filter run at one tick."""
+        return child_rng(self.seed, f"pf:{second}:{object_id}")
+
+    def build_table(
+        self, candidates: Sequence[str], collector, second: int
+    ) -> AnchorObjectTable:
+        """Filter every candidate across the shard pool and merge the result.
+
+        Returns a fresh ``APtoObjHT`` table; merge order is shard order,
+        and within a shard objects are processed in sorted id order, so
+        the merged table is reproducible (and, thanks to per-object RNG
+        streams, identical at any shard count).
+        """
+        shards = partition_objects(candidates, self.num_shards)
+        sizes = [len(shard) for shard in shards]
+        if obs.enabled():
+            obs.gauge_set("service.shards", self.num_shards)
+            populated = [s for s in sizes if s]
+            if populated:
+                mean = sum(populated) / len(populated)
+                obs.observe(
+                    "service.shard_imbalance",
+                    max(populated) / mean if mean else 1.0,
+                )
+        with obs.timer("service.filter_tick"):
+            if self.mode == "serial" or (self.num_shards == 1 and self.mode == "thread"):
+                shard_tables = [
+                    self._run_shard(shard, collector, second) for shard in shards
+                ]
+            elif self.mode == "thread":
+                pool = self._ensure_thread_pool()
+                futures = [
+                    pool.submit(self._run_shard, shard, collector, second)
+                    for shard in shards
+                ]
+                shard_tables = [f.result() for f in futures]
+            else:
+                shard_tables = self._run_process_shards(shards, collector, second)
+
+        merged = AnchorObjectTable()
+        for table in shard_tables:
+            for object_id in table.objects():
+                merged.set_distribution(object_id, table.distribution_of(object_id))
+        return merged
+
+    # ------------------------------------------------------------------
+    def _run_shard(
+        self, shard: List[str], collector, second: int
+    ) -> AnchorObjectTable:
+        """Filter one shard's objects with per-object RNG streams."""
+        return self.preprocessing.process(
+            shard,
+            collector,
+            second,
+            rng_factory=lambda object_id: self.rng_for(second, object_id),
+        )
+
+    def _ensure_thread_pool(self) -> ThreadPoolExecutor:
+        if self._thread_pool is None:
+            self._thread_pool = ThreadPoolExecutor(
+                max_workers=self.num_shards,
+                thread_name_prefix="repro-shard",
+            )
+        return self._thread_pool
+
+    def _init_process_pool(self) -> None:
+        import multiprocessing
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            raise RuntimeError(
+                "mode='process' needs the fork start method; "
+                "use mode='thread' on this platform"
+            ) from None
+        # Workers fork lazily on first submit; the registry entry must be
+        # in place before that so children inherit it.
+        _FORK_REGISTRY[self._key] = self.preprocessing
+        self._process_pool = ProcessPoolExecutor(
+            max_workers=self.num_shards, mp_context=context
+        )
+
+    def _run_process_shards(
+        self, shards: List[List[str]], collector, second: int
+    ) -> List[AnchorObjectTable]:
+        futures = []
+        for shard in shards:
+            object_states = []
+            for object_id in shard:
+                history = collector.history(object_id)
+                if history.is_empty:
+                    continue
+                object_states.append(
+                    (
+                        object_id,
+                        [
+                            {"reader_id": run.reader_id, "seconds": list(run.seconds)}
+                            for run in history.runs
+                        ],
+                    )
+                )
+            futures.append(
+                self._process_pool.submit(
+                    _run_process_shard,
+                    (self._key, second, self.seed, object_states),
+                )
+            )
+        tables = []
+        for future in futures:
+            table = AnchorObjectTable()
+            for object_id, distribution in future.result():
+                table.set_distribution(object_id, distribution)
+            tables.append(table)
+        return tables
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down worker pools (idempotent)."""
+        if self._thread_pool is not None:
+            self._thread_pool.shutdown(wait=True)
+            self._thread_pool = None
+        if self._process_pool is not None:
+            self._process_pool.shutdown(wait=True)
+            self._process_pool = None
+        _FORK_REGISTRY.pop(self._key, None)
+
+    def __enter__(self) -> "ShardedFilterExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -19,7 +19,7 @@ Three metrics, exactly as the paper's evaluation:
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Mapping, Optional, Sequence, Set
+from typing import Iterable, Mapping, Optional, Sequence, Set
 
 from repro.geometry import Point
 from repro.graph.anchors import AnchorIndex

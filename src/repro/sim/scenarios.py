@@ -12,7 +12,7 @@ points.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.config import SimulationConfig
 from repro.geometry import Point

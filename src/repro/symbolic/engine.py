@@ -79,6 +79,15 @@ class SymbolicQueryEngine:
         self._range_queries.clear()
         self._knn_queries.clear()
 
+    def unregister_query(self, query_id: str) -> bool:
+        """Drop one registered query by id (API parity with the PF engine)."""
+        for queries in (self._range_queries, self._knn_queries):
+            for index, query in enumerate(queries):
+                if query.query_id == query_id:
+                    del queries[index]
+                    return True
+        return False
+
     # ------------------------------------------------------------------
     def evaluate(self, now: int, rng=None) -> EngineSnapshot:
         """Answer every registered query at time ``now``.

@@ -6,9 +6,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core import (
     effective_sample_size,
-    multinomial_resample,
     residual_resample,
-    stratified_resample,
     systematic_resample,
 )
 from repro.core.resampling import RESAMPLERS

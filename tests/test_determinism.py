@@ -1,8 +1,5 @@
 """Reproducibility: identical seeds must give identical worlds and answers."""
 
-import numpy as np
-import pytest
-
 from repro.config import DEFAULT_CONFIG
 from repro.geometry import Point, Rect
 from repro.rng import child_rng

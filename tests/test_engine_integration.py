@@ -143,3 +143,50 @@ class TestEngineStandalone:
             engine.ingest_second(second, [RawReading(second + 0.5, "tag1", reader)])
         result = engine.range_query(Rect(15, 4, 20, 6), 8)
         assert result.probabilities.get("o1", 0.0) > 0.3
+
+
+class TestStepApi:
+    """The per-tick step() APIs must be exact refactorings of the batch
+    loops they were extracted from (the service layer is built on them)."""
+
+    def test_sim_step_matches_run_until(self):
+        config = DEFAULT_CONFIG.with_overrides(num_objects=6, seed=7)
+        batch = Simulation(config, build_symbolic=False)
+        stepped = Simulation(config, build_symbolic=False)
+        batch.run_until(15)
+        for _ in range(15):
+            stepped.step()
+        assert stepped.now == batch.now == 15
+        assert stepped.true_positions() == batch.true_positions()
+        assert [
+            (r.time, r.tag_id, r.reader_id) for r in stepped.last_readings
+        ] == [(r.time, r.tag_id, r.reader_id) for r in batch.last_readings]
+
+    def test_sim_step_returns_the_tick_readings(self):
+        config = DEFAULT_CONFIG.with_overrides(num_objects=6, seed=7)
+        sim = Simulation(config, build_symbolic=False)
+        readings = sim.step()
+        assert readings == sim.last_readings
+        assert all(int(r.time) == sim.now for r in readings)
+
+    def test_engine_step_equals_ingest_plus_evaluate(self):
+        config = DEFAULT_CONFIG.with_overrides(num_objects=6, seed=7)
+        driver = Simulation(config, build_symbolic=False)
+        per_second = []
+        for _ in range(10):
+            per_second.append(driver.step())
+
+        composed = Simulation(config, build_symbolic=False).pf_engine
+        stepped = Simulation(config, build_symbolic=False).pf_engine
+        window = Rect(4, 0, 30, 12)
+        composed.register_range_query(RangeQuery("w", window))
+        stepped.register_range_query(RangeQuery("w", window))
+        for second, readings in enumerate(per_second, start=1):
+            composed.ingest_second(second, readings)
+            snap_a = composed.evaluate(second, np.random.default_rng(second))
+            snap_b = stepped.step(second, readings, np.random.default_rng(second))
+            assert snap_a.second == snap_b.second
+            assert (
+                snap_a.range_results["w"].probabilities
+                == snap_b.range_results["w"].probabilities
+            )

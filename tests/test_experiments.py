@@ -1,6 +1,5 @@
 """End-to-end tests for the experiment harness (scaled-down sweeps)."""
 
-import pytest
 
 from repro.config import DEFAULT_CONFIG
 from repro.sim import Simulation, evaluate_accuracy

@@ -7,7 +7,6 @@ from repro.floorplan import (
     FloorPlanBuilder,
     FloorPlanError,
     paper_office_plan,
-    small_test_plan,
 )
 from repro.floorplan.entities import Hallway
 from repro.geometry import Point, Rect, Segment

@@ -1,6 +1,5 @@
 """Unit and property tests for points, segments, and polylines."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

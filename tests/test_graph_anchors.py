@@ -1,6 +1,5 @@
 """Tests for anchor point generation and the anchor index."""
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st

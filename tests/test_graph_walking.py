@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.floorplan import FloorPlanBuilder
-from repro.geometry import Point, Rect
+from repro.geometry import Point
 from repro.graph import (
     EdgeKind,
     GraphLocation,

@@ -1,0 +1,167 @@
+"""Edge cases of ContinuousQueryMonitor that the sessions layer leans on:
+leave/re-enter churn, the ``min_change`` boundary, and unregistering a
+query mid-stream."""
+
+import pytest
+
+from repro.index import AnchorObjectTable
+from repro.queries.continuous import ContinuousQueryMonitor
+from repro.queries.engine import EngineSnapshot
+from repro.queries.types import KNNQuery, RangeQuery, RangeResult
+from repro.geometry import Point, Rect
+
+
+class ScriptedEngine:
+    """Engine stub whose per-query probabilities are set directly, so the
+    monitor's diff logic can be pinned to exact values."""
+
+    def __init__(self):
+        self.results = {}
+        self._range_queries = []
+        self._knn_queries = []
+
+    def register_range_query(self, query: RangeQuery) -> None:
+        self._range_queries.append(query)
+
+    def register_knn_query(self, query: KNNQuery) -> None:
+        self._knn_queries.append(query)
+
+    def unregister_query(self, query_id: str) -> bool:
+        for queries in (self._range_queries, self._knn_queries):
+            for index, query in enumerate(queries):
+                if query.query_id == query_id:
+                    del queries[index]
+                    return True
+        return False
+
+    def clear_queries(self) -> None:
+        self._range_queries.clear()
+        self._knn_queries.clear()
+
+    def evaluate(self, now, rng=None) -> EngineSnapshot:
+        snapshot = EngineSnapshot(
+            second=now, candidates=set(), table=AnchorObjectTable()
+        )
+        for query in self._range_queries:
+            snapshot.range_results[query.query_id] = RangeResult(
+                query.query_id, dict(self.results.get(query.query_id, {}))
+            )
+        return snapshot
+
+
+WINDOW = Rect(0, 0, 10, 10)
+
+
+@pytest.fixture()
+def engine():
+    return ScriptedEngine()
+
+
+@pytest.fixture()
+def monitor(engine):
+    monitor = ContinuousQueryMonitor(engine, report_threshold=0.05, min_change=0.10)
+    monitor.add_range_query("q", WINDOW)
+    return monitor
+
+
+class TestLeaveReenter:
+    def test_object_leaving_and_reentering_across_ticks(self, engine, monitor):
+        engine.results["q"] = {"o1": 0.5}
+        first = monitor.tick(1)[0]
+        assert first.entered == {"o1": 0.5}
+
+        engine.results["q"] = {}
+        second = monitor.tick(2)[0]
+        assert second.left == ["o1"]
+        assert not second.entered
+
+        engine.results["q"] = {"o1": 0.4}
+        third = monitor.tick(3)[0]
+        # Re-entry is a fresh ENTER, not an update against the stale value.
+        assert third.entered == {"o1": 0.4}
+        assert not third.updated
+        assert not third.left
+
+    def test_drop_below_report_threshold_counts_as_leave(self, engine, monitor):
+        engine.results["q"] = {"o1": 0.5}
+        monitor.tick(1)
+        engine.results["q"] = {"o1": 0.04}  # below report_threshold=0.05
+        delta = monitor.tick(2)[0]
+        assert delta.left == ["o1"]
+
+    def test_exactly_at_report_threshold_is_in_result(self, engine, monitor):
+        engine.results["q"] = {"o1": 0.05}
+        delta = monitor.tick(1)[0]
+        assert delta.entered == {"o1": 0.05}
+
+
+class TestMinChangeBoundary:
+    # min_change=0.125 is exactly representable in binary floating point,
+    # so "exactly at the threshold" is a well-defined comparison.
+    @pytest.fixture()
+    def exact_monitor(self, engine):
+        monitor = ContinuousQueryMonitor(
+            engine, report_threshold=0.05, min_change=0.125
+        )
+        monitor.add_range_query("q", WINDOW)
+        return monitor
+
+    def test_change_exactly_at_threshold_is_reported(self, engine, exact_monitor):
+        engine.results["q"] = {"o1": 0.500}
+        exact_monitor.tick(1)
+        engine.results["q"] = {"o1": 0.625}  # |Δ| == min_change == 0.125
+        delta = exact_monitor.tick(2)[0]
+        assert delta.updated == {"o1": 0.625}
+
+    def test_change_just_below_threshold_is_silent(self, engine, exact_monitor):
+        engine.results["q"] = {"o1": 0.500}
+        exact_monitor.tick(1)
+        engine.results["q"] = {"o1": 0.615}
+        delta = exact_monitor.tick(2)[0]
+        assert delta.is_empty
+
+    def test_downward_change_at_threshold_is_reported(self, engine, exact_monitor):
+        engine.results["q"] = {"o1": 0.500}
+        exact_monitor.tick(1)
+        engine.results["q"] = {"o1": 0.375}
+        delta = exact_monitor.tick(2)[0]
+        assert delta.updated == {"o1": 0.375}
+
+
+class TestUnregisterMidStream:
+    def test_removed_query_stops_producing_deltas(self, engine, monitor):
+        monitor.add_range_query("other", WINDOW)
+        engine.results["q"] = {"o1": 0.5}
+        engine.results["other"] = {"o2": 0.5}
+        assert {d.query_id for d in monitor.tick(1)} == {"q", "other"}
+
+        assert monitor.remove_query("q") is True
+        assert monitor.monitored_queries() == ["other"]
+        deltas = monitor.tick(2)
+        assert {d.query_id for d in deltas} == {"other"}
+        # The engine no longer evaluates the removed query either.
+        assert all(q.query_id != "q" for q in engine._range_queries)
+
+    def test_remove_unknown_query_returns_false(self, monitor):
+        assert monitor.remove_query("nope") is False
+
+    def test_readded_query_starts_fresh(self, engine, monitor):
+        engine.results["q"] = {"o1": 0.5}
+        monitor.tick(1)
+        monitor.remove_query("q")
+        monitor.add_range_query("q", WINDOW)
+        delta = monitor.tick(2)[0]
+        # No stale baseline: everything present re-reports as entered.
+        assert delta.entered == {"o1": 0.5}
+
+    def test_engine_unregister_api(self):
+        from repro.floorplan import small_test_plan
+        from repro.queries.engine import IndoorQueryEngine
+
+        engine = IndoorQueryEngine(small_test_plan(), [], {})
+        engine.register_range_query(RangeQuery("a", WINDOW))
+        engine.register_knn_query(KNNQuery("b", Point(5, 5), 2))
+        assert engine.unregister_query("a") is True
+        assert engine.unregister_query("a") is False
+        assert engine.unregister_query("b") is True
+        assert engine.range_queries == [] and engine.knn_queries == []

@@ -4,7 +4,7 @@ import pytest
 
 from repro.collector import EventDrivenCollector
 from repro.config import DEFAULT_CONFIG
-from repro.geometry import Circle, Point, Rect
+from repro.geometry import Point, Rect
 from repro.queries import KNNQuery, QueryAwareOptimizer, RangeQuery, uncertain_region
 from repro.rfid.readings import RawReading
 

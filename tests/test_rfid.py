@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.floorplan import paper_office_plan
 from repro.geometry import Point
 from repro.rfid import (
     DetectionModel,

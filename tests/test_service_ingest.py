@@ -1,0 +1,145 @@
+"""Tests for the streaming ingest layer (repro.service.ingest)."""
+
+import threading
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.io import (
+    load_readings,
+    read_readings_jsonl,
+    write_readings_csv,
+    write_readings_jsonl,
+)
+from repro.rfid.readings import RawReading
+from repro.service import BoundedQueue, LiveSimSource, ReadingBatch, ReplaySource, SourceFeeder
+from repro.sim import Simulation
+
+
+def _sample_readings():
+    return [
+        RawReading(time=1.2, tag_id="tag1", reader_id="r1"),
+        RawReading(time=1.8, tag_id="tag2", reader_id="r2"),
+        RawReading(time=2.1, tag_id="tag1", reader_id="r1"),
+        RawReading(time=4.0, tag_id="tag2", reader_id="r3"),
+    ]
+
+
+class TestReplaySource:
+    def test_batches_by_second(self):
+        batches = list(ReplaySource(_sample_readings()).batches())
+        assert [b.second for b in batches] == [1, 2, 4]
+        assert len(batches[0]) == 2
+        assert batches[0].readings[0].tag_id == "tag1"
+
+    def test_start_after_skips_prefix(self):
+        source = ReplaySource(_sample_readings(), start_after=1)
+        assert [b.second for b in source.batches()] == [2, 4]
+
+    def test_max_seconds_caps_stream(self):
+        source = ReplaySource(_sample_readings(), max_seconds=2)
+        assert [b.second for b in source.batches()] == [1, 2]
+
+    def test_from_csv_file(self, tmp_path):
+        path = tmp_path / "log.csv"
+        write_readings_csv(_sample_readings(), path)
+        source = ReplaySource.from_file(path)
+        assert [b.second for b in source.batches()] == [1, 2, 4]
+
+    def test_from_jsonl_file(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        write_readings_jsonl(_sample_readings(), path)
+        assert read_readings_jsonl(path) == sorted(_sample_readings())
+        source = ReplaySource.from_file(path)
+        assert [b.second for b in source.batches()] == [1, 2, 4]
+
+    def test_load_readings_rejects_unknown_extension(self, tmp_path):
+        path = tmp_path / "log.parquet"
+        path.write_text("nope")
+        with pytest.raises(ValueError, match="unsupported"):
+            load_readings(path)
+
+    def test_jsonl_rejects_bad_lines(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"time": 1.0, "tag_id": "t"}\n')
+        with pytest.raises(ValueError, match="bad reading record"):
+            read_readings_jsonl(path)
+
+
+class TestLiveSimSource:
+    def test_yields_one_batch_per_tick(self):
+        config = DEFAULT_CONFIG.with_overrides(num_objects=4, seed=3)
+        sim = Simulation(config, build_symbolic=False)
+        batches = list(LiveSimSource(sim, seconds=5).batches())
+        assert [b.second for b in batches] == [1, 2, 3, 4, 5]
+        assert sim.now == 5
+
+
+class TestBoundedQueue:
+    def test_fifo_and_close(self):
+        queue = BoundedQueue(maxsize=4)
+        queue.put(ReadingBatch(second=1))
+        queue.put(ReadingBatch(second=2))
+        queue.close()
+        assert queue.get().second == 1
+        assert queue.get().second == 2
+        assert queue.get() is None  # closed and drained
+
+    def test_put_after_close_is_rejected(self):
+        queue = BoundedQueue(maxsize=2)
+        queue.close()
+        assert queue.put(ReadingBatch(second=1)) is False
+
+    def test_backpressure_blocks_producer(self):
+        queue = BoundedQueue(maxsize=1)
+        queue.put(ReadingBatch(second=1))
+        entered = threading.Event()
+        done = threading.Event()
+
+        def producer():
+            entered.set()
+            queue.put(ReadingBatch(second=2))
+            done.set()
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        assert entered.wait(2.0)
+        assert not done.wait(0.1)  # full queue: producer is stalled
+        assert queue.get().second == 1
+        assert done.wait(2.0)  # consumer freed a slot
+        thread.join(2.0)
+
+    def test_rejects_silly_sizes(self):
+        with pytest.raises(ValueError):
+            BoundedQueue(maxsize=0)
+
+
+class TestSourceFeeder:
+    def test_feeds_everything_then_closes(self):
+        queue = BoundedQueue(maxsize=2)
+        feeder = SourceFeeder(ReplaySource(_sample_readings()), queue)
+        feeder.start()
+        seconds = []
+        while True:
+            batch = queue.get(timeout=5.0)
+            if batch is None:
+                break
+            seconds.append(batch.second)
+        feeder.join(5.0)
+        assert seconds == [1, 2, 4]
+        assert feeder.batches_fed == 3
+        assert feeder.error is None
+
+    def test_source_error_is_captured(self):
+        class ExplodingSource:
+            def batches(self):
+                yield ReadingBatch(second=1)
+                raise RuntimeError("middleware died")
+
+        queue = BoundedQueue(maxsize=2)
+        feeder = SourceFeeder(ExplodingSource(), queue)
+        feeder.start()
+        assert queue.get(timeout=5.0).second == 1
+        assert queue.get(timeout=5.0) is None  # queue closed on error
+        feeder.join(5.0)
+        assert isinstance(feeder.error, RuntimeError)

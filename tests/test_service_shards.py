@@ -1,0 +1,154 @@
+"""Sharded filter execution: partitioning and the determinism guarantee.
+
+The acceptance property of the service layer: a replay run with 1 shard
+and with 4 shards produces identical standing-query results *and*
+identical final particle states, because every filter run draws from a
+private ``(seed, second, object_id)`` RNG stream.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.geometry import Point, Rect
+from repro.service import (
+    ReplaySource,
+    TrackingService,
+    partition_objects,
+    shard_of,
+)
+from repro.sim import Simulation
+
+FAST = DEFAULT_CONFIG.with_overrides(num_objects=8, seed=11)
+
+
+@pytest.fixture(scope="module")
+def replay_readings():
+    sim = Simulation(FAST, build_symbolic=False)
+    readings = []
+    for _ in range(25):
+        readings.extend(sim.step())
+    return readings
+
+
+def _delta_key(delta):
+    return (delta.query_id, delta.second, delta.entered, delta.left, delta.updated)
+
+
+def _run_service(readings, num_shards, mode, use_cache=True, seconds=None):
+    service = TrackingService(
+        FAST, num_shards=num_shards, mode=mode, use_cache=use_cache
+    )
+    service.sessions.subscribe_range(Rect(4, 0, 30, 12), session_id="r0")
+    service.sessions.subscribe_knn(Point(30, 5), 3, session_id="k0")
+    deltas = []
+    for batch in ReplaySource(readings, max_seconds=seconds).batches():
+        deltas.extend(service.process_batch(batch))
+    return service, deltas
+
+
+def _final_tables(service):
+    table = service.snapshot().table
+    return {obj: table.distribution_of(obj) for obj in sorted(table.objects())}
+
+
+def _final_particles(service):
+    cache = service.executor.cache
+    assert cache is not None
+    return cache.state_dict()
+
+
+class TestPartitioning:
+    def test_shard_of_is_stable(self):
+        assert shard_of("tag1", 4) == shard_of("tag1", 4)
+        assert 0 <= shard_of("tag1", 4) < 4
+
+    def test_partition_covers_everything_once(self):
+        objects = [f"tag{i}" for i in range(20)]
+        shards = partition_objects(objects, 3)
+        assert sorted(sum(shards, [])) == sorted(objects)
+        assert len(shards) == 3
+
+    def test_partition_is_order_insensitive(self):
+        objects = [f"tag{i}" for i in range(10)]
+        assert partition_objects(objects, 4) == partition_objects(
+            list(reversed(objects)), 4
+        )
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            shard_of("x", 0)
+
+
+class TestShardDeterminism:
+    def test_shards_1_vs_4_identical(self, replay_readings):
+        """The acceptance criterion: shard count never changes results."""
+        one, deltas_one = _run_service(replay_readings, 1, "thread")
+        four, deltas_four = _run_service(replay_readings, 4, "thread")
+        try:
+            assert [_delta_key(d) for d in deltas_one] == [
+                _delta_key(d) for d in deltas_four
+            ]
+            assert _final_tables(one) == _final_tables(four)
+            # Final particle states, bit for bit.
+            particles_one = _final_particles(one)
+            particles_four = _final_particles(four)
+            assert particles_one.keys() == particles_four.keys()
+            for object_id in particles_one:
+                state_a = particles_one[object_id]["particles"]
+                state_b = particles_four[object_id]["particles"]
+                for fieldname in state_a:
+                    assert np.array_equal(
+                        np.asarray(state_a[fieldname]),
+                        np.asarray(state_b[fieldname]),
+                    ), (object_id, fieldname)
+        finally:
+            one.close()
+            four.close()
+
+    def test_serial_equals_thread(self, replay_readings):
+        serial, deltas_serial = _run_service(replay_readings, 3, "serial", seconds=12)
+        thread, deltas_thread = _run_service(replay_readings, 3, "thread", seconds=12)
+        try:
+            assert [_delta_key(d) for d in deltas_serial] == [
+                _delta_key(d) for d in deltas_thread
+            ]
+            assert _final_tables(serial) == _final_tables(thread)
+        finally:
+            serial.close()
+            thread.close()
+
+    def test_process_mode_shard_count_invariant(self, replay_readings):
+        one, deltas_one = _run_service(
+            replay_readings, 1, "process", use_cache=False, seconds=10
+        )
+        two, deltas_two = _run_service(
+            replay_readings, 2, "process", use_cache=False, seconds=10
+        )
+        try:
+            assert [_delta_key(d) for d in deltas_one] == [
+                _delta_key(d) for d in deltas_two
+            ]
+            assert _final_tables(one) == _final_tables(two)
+        finally:
+            one.close()
+            two.close()
+
+    def test_process_mode_has_no_cache(self, replay_readings):
+        service, _ = _run_service(
+            replay_readings, 2, "process", use_cache=True, seconds=3
+        )
+        try:
+            assert service.executor.cache is None
+        finally:
+            service.close()
+
+
+class TestExecutorValidation:
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            TrackingService(FAST, mode="fiber")
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            TrackingService(FAST, num_shards=0)

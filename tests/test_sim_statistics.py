@@ -3,7 +3,6 @@
 import pytest
 
 from repro.collector import EventDrivenCollector
-from repro.config import DEFAULT_CONFIG
 from repro.floorplan import paper_office_plan
 from repro.rfid import RFIDReader, deploy_readers_uniform
 from repro.rfid.readings import RawReading
