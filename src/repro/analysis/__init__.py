@@ -1,0 +1,73 @@
+"""repro.analysis — a zero-dependency invariant linter for this repo.
+
+The service's headline guarantee — bit-identical results across shard
+counts and serial-vs-thread execution — rests on a handful of coding
+invariants: seeded per-object RNG streams, injectable clocks,
+lock-guarded shared state, atomic checkpoint writes. This package makes
+those invariants mechanically checkable: a stdlib-``ast`` rule framework
+(registry, per-file driver, pragma suppression, baseline amnesty, text +
+JSON reporters) plus the built-in rule set DET / CLK / THR / FP / IO
+(see :mod:`repro.analysis.rules`).
+
+Run it as ``repro lint [--format json] [paths...]`` or from code::
+
+    from repro.analysis import lint_paths
+
+    result = lint_paths(["src/repro"])
+    assert not result.findings
+
+The invariant catalog — what each rule enforces and why it protects the
+determinism guarantee — is DESIGN.md §9.
+"""
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE,
+    Baseline,
+    BaselineDiff,
+    load_if_exists,
+)
+from repro.analysis.driver import (
+    LintResult,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.pragmas import PragmaIndex, parse_pragmas
+from repro.analysis.registry import (
+    ModuleUnderCheck,
+    RuleMeta,
+    all_rules,
+    get_rule,
+    register_rule,
+    rule_ids,
+    select_rules,
+)
+from repro.analysis.report import render_json, render_text, to_document
+
+__all__ = [
+    "Baseline",
+    "BaselineDiff",
+    "DEFAULT_BASELINE",
+    "Finding",
+    "LintResult",
+    "ModuleUnderCheck",
+    "PragmaIndex",
+    "RuleMeta",
+    "Severity",
+    "all_rules",
+    "get_rule",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "load_if_exists",
+    "parse_pragmas",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "rule_ids",
+    "select_rules",
+    "to_document",
+]

@@ -1,0 +1,135 @@
+"""Baseline: grandfathered findings that don't fail the build.
+
+Adopting a linter on a living codebase needs an amnesty mechanism:
+``repro lint --write-baseline`` snapshots today's findings into a JSON
+file, and subsequent runs subtract them — only *new* violations fail.
+The goal state is an empty baseline (this repo's is), but the mechanism
+keeps the linter adoptable after a big merge.
+
+Matching is by :meth:`Finding.fingerprint` — ``(path, rule, message)``,
+line numbers excluded — with multiplicity: a baseline with one ``DET``
+entry for a file forgives one such finding, not every future one.
+Paths are normalized to posix relative form so a baseline written on
+one machine matches on another.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path, PurePath
+from typing import List, Tuple
+
+from repro.analysis.findings import Finding
+
+BASELINE_FORMAT = "repro-lint-baseline"
+BASELINE_VERSION = 1
+
+#: Default baseline location, resolved against the current directory.
+DEFAULT_BASELINE = ".repro-lint-baseline.json"
+
+Fingerprint = Tuple[str, str, str]
+
+
+def _normalize_path(path: str) -> str:
+    # Treat backslashes as separators regardless of host platform, so a
+    # baseline written on Windows matches on POSIX and vice versa.
+    posix = PurePath(path.replace("\\", "/")).as_posix()
+    # Strip machine-specific prefixes: keep from the last ``src/`` or
+    # package root onward when present.
+    marker = "/src/"
+    index = posix.rfind(marker)
+    if index >= 0:
+        return posix[index + len(marker):]
+    return posix.lstrip("/")
+
+
+def _normalized_fingerprint(finding: Finding) -> Fingerprint:
+    path, rule, message = finding.fingerprint()
+    return (_normalize_path(path), rule, message)
+
+
+@dataclass
+class BaselineDiff:
+    """Result of subtracting a baseline from a finding list."""
+
+    new: List[Finding]
+    matched: int  #: findings forgiven by the baseline
+    stale: int  #: baseline entries that matched nothing (fixed for real)
+
+
+class Baseline:
+    """An on-disk set of forgiven finding fingerprints (with counts)."""
+
+    def __init__(self, counts: "Counter[Fingerprint]") -> None:
+        self.counts = counts
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(Counter())
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        return cls(Counter(_normalized_fingerprint(f) for f in findings))
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+        if (
+            not isinstance(document, dict)
+            or document.get("format") != BASELINE_FORMAT
+        ):
+            raise ValueError(f"{path}: not a {BASELINE_FORMAT} file")
+        version = document.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(f"{path}: unsupported baseline version {version!r}")
+        counts: "Counter[Fingerprint]" = Counter()
+        for entry in document.get("findings", []):
+            fingerprint = (
+                str(entry["path"]),
+                str(entry["rule"]),
+                str(entry["message"]),
+            )
+            counts[fingerprint] += int(entry.get("count", 1))
+        return cls(counts)
+
+    def save(self, path: str) -> None:
+        entries = [
+            {"path": p, "rule": r, "message": m, "count": count}
+            for (p, r, m), count in sorted(self.counts.items())
+        ]
+        document = {
+            "format": BASELINE_FORMAT,
+            "version": BASELINE_VERSION,
+            "findings": entries,
+        }
+        tmp_path = f"{path}.tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        os.replace(tmp_path, path)
+
+    def subtract(self, findings: List[Finding]) -> BaselineDiff:
+        """Split findings into forgiven and new; count stale entries."""
+        remaining = Counter(self.counts)
+        new: List[Finding] = []
+        matched = 0
+        for finding in findings:
+            fingerprint = _normalized_fingerprint(finding)
+            if remaining.get(fingerprint, 0) > 0:
+                remaining[fingerprint] -= 1
+                matched += 1
+            else:
+                new.append(finding)
+        stale = sum(count for count in remaining.values() if count > 0)
+        return BaselineDiff(new=new, matched=matched, stale=stale)
+
+
+def load_if_exists(path: str) -> Baseline:
+    """The baseline at ``path``, or an empty one if the file is absent."""
+    if Path(path).is_file():
+        return Baseline.load(path)
+    return Baseline.empty()

@@ -1,0 +1,118 @@
+"""The per-file lint driver.
+
+Parses each module once, runs every in-scope rule over the shared parse,
+strips pragma-suppressed findings, and aggregates a :class:`LintResult`.
+Entry points:
+
+* :func:`lint_source` — lint an in-memory source under a (possibly
+  virtual) path; this is what rule tests use, since scoping is decided
+  by the path string alone.
+* :func:`lint_file` — read + lint one file.
+* :func:`lint_paths` — walk files and directory trees (``*.py``,
+  skipping ``__pycache__`` and hidden directories) and lint each.
+
+A file that fails to parse produces a single ``SYNTAX`` error finding
+rather than aborting the run — the linter must be able to report on a
+broken tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, List, Sequence
+
+import ast
+
+from repro.analysis.findings import Finding, Severity, sort_key
+from repro.analysis.pragmas import parse_pragmas
+from repro.analysis.registry import ModuleUnderCheck, select_rules
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0  #: findings removed by pragmas
+    files_checked: int = 0
+
+    def extend(self, other: "LintResult") -> None:
+        self.findings.extend(other.findings)
+        self.suppressed += other.suppressed
+        self.files_checked += other.files_checked
+
+    def sorted_findings(self) -> List[Finding]:
+        return sorted(self.findings, key=sort_key)
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for f in self.findings if f.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return sum(1 for f in self.findings if f.severity is Severity.WARNING)
+
+
+def lint_source(
+    source: str,
+    path: str,
+    only: Sequence[str] = (),
+) -> LintResult:
+    """Lint one source text as if it lived at ``path``."""
+    result = LintResult(files_checked=1)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        result.findings.append(
+            Finding(
+                rule="SYNTAX",
+                severity=Severity.ERROR,
+                path=path,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                message=f"could not parse: {exc.msg}",
+            )
+        )
+        return result
+    lines = source.splitlines()
+    module = ModuleUnderCheck(path=path, tree=tree, source=source, lines=lines)
+    pragmas = parse_pragmas(lines)
+    for rule_cls in select_rules(only):
+        if not rule_cls.META.in_scope(path):
+            continue
+        for finding in rule_cls().check(module):
+            if pragmas.suppresses(finding):
+                result.suppressed += 1
+            else:
+                result.findings.append(finding)
+    return result
+
+
+def lint_file(path: str, only: Sequence[str] = ()) -> LintResult:
+    source = Path(path).read_text(encoding="utf-8")
+    return lint_source(source, path=path, only=only)
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Expand files and directory trees into sorted ``*.py`` paths."""
+    for raw in paths:
+        root = Path(raw)
+        if root.is_dir():
+            for candidate in sorted(root.rglob("*.py")):
+                parts = candidate.parts
+                if "__pycache__" in parts:
+                    continue
+                if any(p.startswith(".") and p not in (".", "..") for p in parts):
+                    continue
+                yield str(candidate)
+        else:
+            yield str(root)
+
+
+def lint_paths(paths: Iterable[str], only: Sequence[str] = ()) -> LintResult:
+    """Lint every python file under ``paths`` (files or directories)."""
+    result = LintResult()
+    for file_path in iter_python_files(paths):
+        result.extend(lint_file(file_path, only=only))
+    return result

@@ -1,0 +1,79 @@
+"""Suppression pragmas: ``# repro-lint: disable=RULE[,RULE]``.
+
+Two granularities:
+
+* **Line** — a pragma comment on the flagged line suppresses findings of
+  the named rules (or every rule, with ``disable=all``) on that line::
+
+      if qa == 0.0:  # repro-lint: disable=FP -- exact degenerate guard
+
+  Everything after ``--`` is a free-form rationale; the linter requires
+  nothing of it but the review convention is that a pragma without a
+  why gets rejected.
+
+* **File** — ``# repro-lint: disable-file=RULE[,RULE]`` in the module's
+  first :data:`FILE_PRAGMA_WINDOW` lines exempts the whole module.
+
+Pragmas are part of the framework (not the rules): the driver strips
+suppressed findings after every rule has run, and reports how many it
+suppressed so silent blanket pragmas show up in the summary.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List
+
+from repro.analysis.findings import Finding
+
+#: File-level pragmas must appear in the first N physical lines.
+FILE_PRAGMA_WINDOW = 10
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z*][A-Za-z0-9_,*\s]*)"
+)
+
+ALL = frozenset({"all"})
+
+
+def _parse_rules(raw: str) -> FrozenSet[str]:
+    rules = {part.strip() for part in raw.split(",") if part.strip()}
+    if "all" in {r.lower() for r in rules} or "*" in rules:
+        return ALL
+    return frozenset(r.upper() for r in rules)
+
+
+@dataclass(frozen=True)
+class PragmaIndex:
+    """Parsed suppressions of one module: line pragmas + file pragmas."""
+
+    line_rules: Dict[int, FrozenSet[str]]
+    file_rules: FrozenSet[str]
+
+    def suppresses(self, finding: Finding) -> bool:
+        if self._matches(self.file_rules, finding.rule):
+            return True
+        return self._matches(self.line_rules.get(finding.line, frozenset()), finding.rule)
+
+    @staticmethod
+    def _matches(rules: FrozenSet[str], rule_id: str) -> bool:
+        return rules is ALL or "all" in rules or rule_id in rules
+
+
+def parse_pragmas(lines: List[str]) -> PragmaIndex:
+    """Scan physical source lines for pragma comments (1-based line index)."""
+    line_rules: Dict[int, FrozenSet[str]] = {}
+    file_rules: FrozenSet[str] = frozenset()
+    for lineno, text in enumerate(lines, start=1):
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        rules = _parse_rules(match.group("rules"))
+        if match.group("kind") == "disable-file":
+            if lineno <= FILE_PRAGMA_WINDOW:
+                file_rules = frozenset(file_rules | rules)
+        else:
+            line_rules[lineno] = frozenset(line_rules.get(lineno, frozenset()) | rules)
+    return PragmaIndex(line_rules=line_rules, file_rules=file_rules)

@@ -1,0 +1,119 @@
+"""Rule registry: the contract a lint rule implements and how rules are found.
+
+A rule is a class with a ``META`` :class:`RuleMeta` and a ``check``
+method that walks one parsed module. Registration is by decorator::
+
+    @register_rule
+    class MyRule:
+        META = RuleMeta(rule_id="XYZ", ...)
+
+        def check(self, module: ModuleUnderCheck) -> List[Finding]: ...
+
+Scoping lives in the metadata, not in the driver: each rule names the
+package prefixes it guards (``applies_to``) and the sanctioned modules
+inside that scope that are exempt (``exempt``) — e.g. the CLK rule
+exempts the injectable-clock modules that *implement* the wall-clock
+boundary. Paths are matched purely textually (posix separators), so the
+driver can lint real files and tests can lint in-memory sources under
+virtual paths.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePath
+from typing import Dict, List, Protocol, Sequence, Tuple, Type
+
+from repro.analysis.findings import Finding, Severity
+
+
+@dataclass(frozen=True)
+class RuleMeta:
+    """Identity, scope, and documentation of one rule."""
+
+    rule_id: str
+    title: str
+    invariant: str
+    severity: Severity = Severity.ERROR
+    #: Package-directory prefixes this rule guards, e.g. ``"repro/core"``.
+    #: Empty means: applies everywhere it is asked to run.
+    applies_to: Tuple[str, ...] = ()
+    #: Module suffixes inside the scope that are sanctioned, e.g.
+    #: ``"repro/service/scheduler.py"`` for the CLK rule.
+    exempt: Tuple[str, ...] = field(default=())
+
+    def in_scope(self, path: str) -> bool:
+        """Whether ``path`` (any os flavor, real or virtual) is governed."""
+        norm = "/" + PurePath(path).as_posix().lstrip("/")
+        for suffix in self.exempt:
+            if norm.endswith("/" + suffix.lstrip("/")):
+                return False
+        if not self.applies_to:
+            return True
+        return any(f"/{prefix.strip('/')}/" in norm for prefix in self.applies_to)
+
+
+@dataclass
+class ModuleUnderCheck:
+    """One parsed module handed to every in-scope rule."""
+
+    path: str
+    tree: ast.Module
+    source: str
+    lines: List[str]
+
+    def segment(self, node: ast.AST) -> str:
+        """The exact source text of a node ('' if unavailable)."""
+        return ast.get_source_segment(self.source, node) or ""
+
+
+class Rule(Protocol):
+    """Structural type every registered rule satisfies."""
+
+    META: RuleMeta
+
+    def check(self, module: ModuleUnderCheck) -> List[Finding]: ...
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: add a rule to the global registry (id must be new)."""
+    rule_id = cls.META.rule_id
+    if rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_id!r}")
+    _REGISTRY[rule_id] = cls
+    return cls
+
+
+def all_rules() -> List[Type[Rule]]:
+    """Every registered rule class, sorted by id (import-order independent)."""
+    import repro.analysis.rules  # noqa: F401  (registers the built-in set)
+
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Type[Rule]:
+    import repro.analysis.rules  # noqa: F401
+
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {rule_id!r}; known: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def rule_ids() -> List[str]:
+    import repro.analysis.rules  # noqa: F401
+
+    return sorted(_REGISTRY)
+
+
+def select_rules(only: Sequence[str] = ()) -> List[Type[Rule]]:
+    """The rule classes to run (all, or the ``only`` subset by id)."""
+    if not only:
+        return all_rules()
+    return [get_rule(rule_id) for rule_id in only]

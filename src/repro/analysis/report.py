@@ -1,0 +1,93 @@
+"""Text and JSON reporters for lint results.
+
+The text report is for humans at a terminal; the JSON report
+(``format: repro-lint``, versioned like the trace and checkpoint
+documents) is what CI consumes, so its schema is part of the package's
+public contract and covered by tests.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.analysis.driver import LintResult
+from repro.analysis.findings import Finding
+from repro.analysis.registry import all_rules
+
+REPORT_FORMAT = "repro-lint"
+REPORT_VERSION = 1
+
+
+def render_text(
+    result: LintResult,
+    new_findings: Optional[List[Finding]] = None,
+    baselined: int = 0,
+) -> str:
+    """Human-readable report: one row per finding plus a summary line."""
+    findings = result.sorted_findings() if new_findings is None else new_findings
+    lines = [finding.render() for finding in findings]
+    summary = (
+        f"{len(findings)} finding(s) "
+        f"({sum(1 for f in findings if f.severity.value == 'error')} error(s)) "
+        f"in {result.files_checked} file(s)"
+    )
+    extras: List[str] = []
+    if result.suppressed:
+        extras.append(f"{result.suppressed} pragma-suppressed")
+    if baselined:
+        extras.append(f"{baselined} baselined")
+    if extras:
+        summary += " · " + ", ".join(extras)
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def to_document(
+    result: LintResult,
+    new_findings: Optional[List[Finding]] = None,
+    baselined: int = 0,
+    stale_baseline_entries: int = 0,
+) -> Dict[str, object]:
+    """The canonical JSON document for one lint run."""
+    findings = result.sorted_findings() if new_findings is None else new_findings
+    rules: List[Dict[str, str]] = [
+        {
+            "id": rule_cls.META.rule_id,
+            "title": rule_cls.META.title,
+            "invariant": rule_cls.META.invariant,
+        }
+        for rule_cls in all_rules()
+    ]
+    return {
+        "format": REPORT_FORMAT,
+        "version": REPORT_VERSION,
+        "rules": rules,
+        "findings": [dict(f.to_dict()) for f in findings],
+        "summary": {
+            "files_checked": result.files_checked,
+            "total": len(findings),
+            "errors": sum(1 for f in findings if f.severity.value == "error"),
+            "warnings": sum(1 for f in findings if f.severity.value == "warning"),
+            "pragma_suppressed": result.suppressed,
+            "baselined": baselined,
+            "stale_baseline_entries": stale_baseline_entries,
+        },
+    }
+
+
+def render_json(
+    result: LintResult,
+    new_findings: Optional[List[Finding]] = None,
+    baselined: int = 0,
+    stale_baseline_entries: int = 0,
+) -> str:
+    return json.dumps(
+        to_document(
+            result,
+            new_findings=new_findings,
+            baselined=baselined,
+            stale_baseline_entries=stale_baseline_entries,
+        ),
+        indent=2,
+    )

@@ -1,0 +1,24 @@
+"""Built-in invariant rules. Importing this package registers them all.
+
+| id  | invariant |
+|-----|-----------|
+| DET | randomness flows through seeded ``repro.rng`` factories |
+| CLK | wall-clock reads go through injectable clocks |
+| THR | shared module state in shard-worker packages is lock-guarded |
+| FP  | no exact float equality in geometry/graph coordinate math |
+| IO  | durable service state is written via temp + atomic rename |
+"""
+
+from repro.analysis.rules.atomic_io import AtomicWriteRule
+from repro.analysis.rules.clock import ClockRule
+from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.floatcmp import FloatEqualityRule
+from repro.analysis.rules.threads import ThreadSafetyRule
+
+__all__ = [
+    "AtomicWriteRule",
+    "ClockRule",
+    "DeterminismRule",
+    "FloatEqualityRule",
+    "ThreadSafetyRule",
+]

@@ -1,0 +1,129 @@
+"""IO — checkpoint/result writers use write-to-temp + atomic rename.
+
+A checkpoint half-written when the process dies must never be read back
+as a checkpoint: the restore path validates a format marker, but a
+truncated JSON document with a valid prefix is still a corrupt restore.
+The sanctioned pattern writes to a side file and ``os.replace``s it over
+the target — readers observe either the old complete document or the
+new complete document, never a torn one.
+
+Flagged inside ``repro.service`` (the checkpoint module and any future
+writer that joins it):
+
+* ``open(path, "w"/"a"/"x"/"wb"/…)`` where the target expression does
+  not mention a temp name (``tmp``/``temp`` in its source text);
+* a temp-file write in a module that never calls ``os.replace`` /
+  ``os.rename`` — writing to ``.tmp`` and forgetting the rename is the
+  same torn-read bug with extra steps;
+* ``Path.write_text`` / ``Path.write_bytes`` calls (no temp possible).
+
+Read-mode ``open`` is untouched.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import ModuleUnderCheck, RuleMeta, register_rule
+from repro.analysis.rules.common import call_keywords, dotted_name
+
+def _write_mode(node: ast.Call) -> Optional[str]:
+    """The mode string if this ``open`` call writes, else ``None``."""
+    mode_node: Optional[ast.expr] = None
+    if len(node.args) >= 2:
+        mode_node = node.args[1]
+    else:
+        mode_node = call_keywords(node).get("mode")
+    if mode_node is None:
+        return None  # default "r"
+    if isinstance(mode_node, ast.Constant) and isinstance(mode_node.value, str):
+        mode = mode_node.value
+        if any(ch in mode for ch in "wax+"):
+            return mode
+        return None
+    return "<dynamic>"  # non-literal mode: assume it may write
+
+
+def _mentions_temp(source_text: str) -> bool:
+    lowered = source_text.lower()
+    return "tmp" in lowered or "temp" in lowered
+
+
+def _module_calls_rename(tree: ast.Module) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            dotted = dotted_name(node.func)
+            if dotted in ("os.replace", "os.rename"):
+                return True
+            if isinstance(node.func, ast.Attribute) and node.func.attr in (
+                "replace",
+                "rename",
+            ):
+                return True
+    return False
+
+
+@register_rule
+class AtomicWriteRule:
+    META = RuleMeta(
+        rule_id="IO",
+        title="atomic write-rename for durable state",
+        severity=Severity.ERROR,
+        invariant=(
+            "service-state writers never bare-open their target for write; "
+            "they write a temp sibling and os.replace it into place"
+        ),
+        applies_to=("repro/service",),
+        exempt=(),
+    )
+
+    def check(self, module: ModuleUnderCheck) -> List[Finding]:
+        findings: List[Finding] = []
+        has_rename = _module_calls_rename(module.tree)
+
+        def flag(node: ast.AST, message: str) -> None:
+            findings.append(
+                Finding(
+                    rule=self.META.rule_id,
+                    severity=self.META.severity,
+                    path=module.path,
+                    line=getattr(node, "lineno", 0),
+                    col=getattr(node, "col_offset", 0),
+                    message=message,
+                )
+            )
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Name) and node.func.id == "open":
+                mode = _write_mode(node)
+                if mode is None or not node.args:
+                    continue
+                target_text = module.segment(node.args[0])
+                if not _mentions_temp(target_text):
+                    flag(
+                        node,
+                        f"bare `open({target_text or '...'}, {mode!r})` on the "
+                        "final path; write to a `.tmp` sibling and "
+                        "`os.replace` it into place",
+                    )
+                elif not has_rename:
+                    flag(
+                        node,
+                        "temp-file write but this module never calls "
+                        "`os.replace`/`os.rename`; the write is not atomic "
+                        "until the rename lands",
+                    )
+            elif isinstance(node.func, ast.Attribute) and node.func.attr in (
+                "write_text",
+                "write_bytes",
+            ):
+                flag(
+                    node,
+                    f"`.{node.func.attr}()` writes the target in place; use "
+                    "the write-to-temp + `os.replace` pattern",
+                )
+        return findings

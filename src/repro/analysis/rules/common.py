@@ -1,0 +1,69 @@
+"""Shared AST plumbing for the rule set.
+
+Rules need to know what a name *means* — whether ``rnd.Random()`` is
+``random.Random`` under an alias, whether ``np.random.seed`` is numpy's
+global-state API. :class:`ImportMap` records the module's import
+aliases; :func:`resolve_dotted` expands an expression like
+``np.random.default_rng`` into its canonical dotted path
+(``numpy.random.default_rng``) using that map.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+
+class ImportMap:
+    """Local-name → canonical dotted path, from a module's import statements."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    # ``import a.b`` binds ``a`` (to package a); ``import
+                    # a.b as c`` binds ``c`` to ``a.b``.
+                    self.aliases[local] = alias.name if alias.asname else local
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{node.module}.{alias.name}"
+
+    def canonical(self, name: str) -> str:
+        """The canonical path a bare local name refers to (itself if unknown)."""
+        return self.aliases.get(name, name)
+
+
+def dotted_name(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def resolve_dotted(node: ast.expr, imports: ImportMap) -> Optional[str]:
+    """Canonical dotted path of an expression, honoring import aliases."""
+    dotted = dotted_name(node)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    canonical_head = imports.canonical(head)
+    return f"{canonical_head}.{rest}" if rest else canonical_head
+
+
+def call_keywords(node: ast.Call) -> Dict[str, ast.expr]:
+    return {kw.arg: kw.value for kw in node.keywords if kw.arg is not None}
+
+
+def is_none_constant(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None

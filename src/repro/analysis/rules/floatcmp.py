@@ -1,0 +1,101 @@
+"""FP — no exact equality between float-valued geometric expressions.
+
+Distances, projections, and coordinates in ``repro.geometry`` /
+``repro.graph`` are accumulated floats; ``==``/``!=`` on them is either
+a latent tolerance bug or — where exact comparison *is* the intent
+(degenerate-zero guards on freshly computed squared lengths) — a
+decision that deserves an explicit pragma with its rationale.
+
+Flagged: ``==`` / ``!=`` comparisons where either operand is
+float-typed by local evidence — a float literal, a coordinate attribute
+(``.x`` / ``.y``), a call into ``math.sqrt``/``hypot``/``dist``/
+``fsum``, or an arithmetic expression over such operands. Chained
+comparisons are checked pairwise. ``<``/``<=`` ordering comparisons are
+fine (they are tolerance-free by nature), as is equality on ints,
+strings, and identifiers with no float evidence.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import ModuleUnderCheck, RuleMeta, register_rule
+from repro.analysis.rules.common import dotted_name
+
+_COORD_ATTRS = {"x", "y"}
+
+_FLOAT_RETURNING = {
+    "math.sqrt",
+    "math.hypot",
+    "math.dist",
+    "math.fsum",
+    "math.fabs",
+    "math.atan2",
+    "math.cos",
+    "math.sin",
+    "sqrt",
+    "hypot",
+}
+
+
+def _is_floaty(node: ast.expr) -> bool:
+    """Conservative local evidence that an expression is float-valued."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.Attribute):
+        return node.attr in _COORD_ATTRS
+    if isinstance(node, ast.UnaryOp):
+        return _is_floaty(node.operand)
+    if isinstance(node, ast.BinOp):
+        return _is_floaty(node.left) or _is_floaty(node.right)
+    if isinstance(node, ast.Call):
+        dotted = dotted_name(node.func)
+        if dotted in _FLOAT_RETURNING:
+            return True
+        if isinstance(node.func, ast.Name) and node.func.id == "float":
+            return True
+    return False
+
+
+@register_rule
+class FloatEqualityRule:
+    META = RuleMeta(
+        rule_id="FP",
+        title="no exact float equality in geometry",
+        severity=Severity.WARNING,
+        invariant=(
+            "coordinate math never branches on exact float equality; use "
+            "tolerances, or pragma the deliberate degenerate-zero guards"
+        ),
+        applies_to=("repro/geometry", "repro/graph"),
+        exempt=(),
+    )
+
+    def check(self, module: ModuleUnderCheck) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_floaty(left) or _is_floaty(right):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    findings.append(
+                        Finding(
+                            rule=self.META.rule_id,
+                            severity=self.META.severity,
+                            path=module.path,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            message=(
+                                f"exact float `{symbol}` on a coordinate "
+                                "expression; compare with a tolerance "
+                                "(or pragma a deliberate degenerate guard)"
+                            ),
+                        )
+                    )
+        return findings

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands::
+Seven subcommands::
 
     repro simulate    run the simulator; export the floor plan, reader
                       deployment, and raw reading log
@@ -11,6 +11,8 @@ Six subcommands::
                       queries, checkpoint/restore
     repro demo        a 60-second end-to-end demo with live queries
     repro stats       render the summary table of a --trace output file
+    repro lint        static-check the repo's determinism, clock, and
+                      thread-safety invariants (repro.analysis)
 
 ``simulate`` and ``experiment`` accept ``--trace PATH``: observability
 (:mod:`repro.obs`) is enabled for the run and the collected metrics and
@@ -28,6 +30,7 @@ import sys
 from typing import List, Optional
 
 import repro.obs as obs
+from repro.analysis.baseline import DEFAULT_BASELINE
 from repro.config import DEFAULT_CONFIG
 from repro.geometry import Point, Rect
 from repro.sim.experiments import (
@@ -177,6 +180,37 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--out-csv", metavar="CSV", help="also export flattened metric rows"
     )
+
+    lint = subparsers.add_parser(
+        "lint", help="check the repo's determinism/clock/thread invariants"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src/repro"], metavar="PATH",
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json"], default="text", dest="fmt",
+        help="report format (json is the CI contract)",
+    )
+    lint.add_argument(
+        "--rules", metavar="ID[,ID]",
+        help="run only these rule ids (e.g. DET,THR)",
+    )
+    lint.add_argument(
+        "--baseline", metavar="JSON", default=None,
+        help=(
+            "baseline file of grandfathered findings "
+            f"(default: {DEFAULT_BASELINE} if it exists)"
+        ),
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="snapshot current findings into the baseline file and exit 0",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the invariant catalog and exit",
+    )
     return parser
 
 
@@ -190,6 +224,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _cmd_serve,
         "demo": _cmd_demo,
         "stats": _cmd_stats,
+        "lint": _cmd_lint,
     }[args.command]
     return handler(args)
 
@@ -318,6 +353,69 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         write_csv(data, args.out_csv)
         print(f"rows -> {args.out_csv}")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        Baseline,
+        all_rules,
+        lint_paths,
+        load_if_exists,
+        render_json,
+        render_text,
+    )
+
+    if args.list_rules:
+        for rule_cls in all_rules():
+            meta = rule_cls.META
+            print(f"{meta.rule_id}  [{meta.severity}]  {meta.title}")
+            print(f"     {meta.invariant}")
+            if meta.applies_to:
+                print(f"     scope: {', '.join(meta.applies_to)}")
+        return 0
+
+    only = [r.strip().upper() for r in args.rules.split(",")] if args.rules else []
+    try:
+        result = lint_paths(args.paths, only=only)
+    except (KeyError, OSError) as exc:
+        print(f"repro: lint error: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline if args.baseline is not None else DEFAULT_BASELINE
+    findings = result.sorted_findings()
+
+    if args.write_baseline:
+        Baseline.from_findings(findings).save(baseline_path)
+        print(
+            f"baseline -> {baseline_path} "
+            f"({len(findings)} grandfathered finding(s))"
+        )
+        return 0
+
+    try:
+        baseline = load_if_exists(baseline_path)
+    except ValueError as exc:
+        print(f"repro: lint error: {exc}", file=sys.stderr)
+        return 2
+    diff = baseline.subtract(findings)
+
+    if args.fmt == "json":
+        print(
+            render_json(
+                result,
+                new_findings=diff.new,
+                baselined=diff.matched,
+                stale_baseline_entries=diff.stale,
+            )
+        )
+    else:
+        print(render_text(result, new_findings=diff.new, baselined=diff.matched))
+        if diff.stale:
+            print(
+                f"note: {diff.stale} stale baseline entr(y/ies) no longer "
+                f"match; re-run with --write-baseline to shrink {baseline_path}"
+            )
+    return 1 if diff.new else 0
 
 
 def _parse_range_spec(text: str) -> Rect:

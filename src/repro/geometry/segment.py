@@ -48,7 +48,9 @@ class Segment:
         floating-point drift in particle motion can never leave the segment.
         """
         length = self.length
-        if length == 0.0:
+        # Exact zero is the degenerate-segment sentinel, not a tolerance
+        # question: any positive length, however tiny, divides safely.
+        if length == 0.0:  # repro-lint: disable=FP
             return self.a
         t = min(max(offset / length, 0.0), 1.0)
         return self.a.lerp(self.b, t)
@@ -63,7 +65,9 @@ class Segment:
         """
         length = self.length
         denom = length * length
-        if denom == 0.0:  # degenerate, or so short that length^2 underflows
+        # Exact check: catches true degenerates and length^2 underflow,
+        # the only cases where the division below is unsafe.
+        if denom == 0.0:  # repro-lint: disable=FP
             return 0.0, self.a.distance_to(p)
         ax, ay = self.a.x, self.a.y
         bx, by = self.b.x, self.b.y

@@ -184,7 +184,9 @@ class Circle:
         dx, dy = seg.b.x - ax, seg.b.y - ay
         fx, fy = ax - self.center.x, ay - self.center.y
         qa = dx * dx + dy * dy
-        if qa == 0.0:  # degenerate, or so short that length^2 underflows
+        # Exact check: catches true degenerates and length^2 underflow,
+        # the only cases where the quadratic below is unsolvable.
+        if qa == 0.0:  # repro-lint: disable=FP
             return (0.0, 0.0) if self.contains(seg.a) else None
         qb = 2.0 * (fx * dx + fy * dy)
         qc = fx * fx + fy * fy - self.radius * self.radius

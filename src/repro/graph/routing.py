@@ -45,7 +45,9 @@ class Route:
         remaining = max(arc, 0.0)
         for edge_id, lo, hi in self.legs:
             leg_len = abs(hi - lo)
-            if remaining <= leg_len or leg_len == 0.0:
+            # Zero-length legs (self-loop endpoints) must resolve to their
+            # own offset, not be skipped; exact zero is that sentinel.
+            if remaining <= leg_len or leg_len == 0.0:  # repro-lint: disable=FP
                 direction = 1.0 if hi >= lo else -1.0
                 return GraphLocation(edge_id, lo + direction * min(remaining, leg_len))
             remaining -= leg_len

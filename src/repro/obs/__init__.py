@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import functools
 import time
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional, TypeVar, Union, cast
 
 from repro.obs.registry import (
     Counter,
@@ -43,11 +43,12 @@ from repro.obs.registry import (
     Stopwatch,
     Timer,
 )
-from repro.obs.tracer import Span, SpanAggregate, Tracer
+from repro.obs.tracer import ActiveSpan, Span, SpanAggregate, Tracer
 
 Clock = Callable[[], float]
 
 __all__ = [
+    "ActiveSpan",
     "Counter",
     "Gauge",
     "Histogram",
@@ -86,7 +87,7 @@ class _NoopContext:
     def __enter__(self) -> "_NoopContext":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         return None
 
     def set_attr(self, key: str, value: object) -> "_NoopContext":
@@ -171,32 +172,35 @@ def observe(name: str, value: float) -> None:
         _registry.histogram(name).observe(value)
 
 
-def timer(name: str):
+def timer(name: str) -> Union[Timer, _NoopContext]:
     """A ``with``-able timer feeding the same-named histogram."""
     if _enabled:
         return _registry.timer(name)
     return _NOOP
 
 
-def span(name: str, **attrs: object):
+def span(name: str, **attrs: object) -> Union[ActiveSpan, _NoopContext]:
     """A ``with``-able trace span (nested under the current span)."""
     if _enabled:
         return _tracer.span(name, **attrs)
     return _NOOP
 
 
-def timed(name: str):
+F = TypeVar("F", bound=Callable[..., object])
+
+
+def timed(name: str) -> Callable[[F], F]:
     """Decorator: trace every call of the wrapped function as a span."""
 
-    def decorate(func):
+    def decorate(func: F) -> F:
         @functools.wraps(func)
-        def wrapper(*args, **kwargs):
+        def wrapper(*args: object, **kwargs: object) -> object:
             if not _enabled:
                 return func(*args, **kwargs)
             with _tracer.span(name):
                 return func(*args, **kwargs)
 
-        return wrapper
+        return cast(F, wrapper)
 
     return decorate
 
@@ -213,14 +217,14 @@ def stopwatch() -> Stopwatch:
 # ----------------------------------------------------------------------
 # export (delegates to repro.obs.report; re-exported for convenience)
 # ----------------------------------------------------------------------
-def snapshot(meta: Optional[dict] = None) -> dict:
+def snapshot(meta: Optional[Dict[str, object]] = None) -> Dict[str, object]:
     """Combined metrics + trace snapshot as one plain dict."""
     from repro.obs.report import build_snapshot
 
     return build_snapshot(_registry, _tracer, meta=meta)
 
 
-def export_json(path: str, meta: Optional[dict] = None) -> None:
+def export_json(path: str, meta: Optional[Dict[str, object]] = None) -> None:
     """Write the combined snapshot to a JSON file."""
     from repro.obs.report import write_json
 
@@ -234,7 +238,7 @@ def export_csv(path: str) -> None:
     write_csv(snapshot(), path)
 
 
-def render_summary(data: Optional[dict] = None) -> str:
+def render_summary(data: Optional[Dict[str, object]] = None) -> str:
     """Human-readable summary table of a snapshot (default: the live one)."""
     from repro.obs.report import render_summary as _render
 

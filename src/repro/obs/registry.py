@@ -35,7 +35,7 @@ class Counter:
 
     __slots__ = ("name", "value", "_lock")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
         self._lock = threading.Lock()
@@ -57,7 +57,7 @@ class Gauge:
 
     __slots__ = ("name", "value")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self.value: float = 0.0
 
@@ -84,7 +84,7 @@ class Histogram:
     __slots__ = ("name", "count", "total", "min", "max", "dropped",
                  "max_samples", "_samples", "_lock")
 
-    def __init__(self, name: str, max_samples: int = DEFAULT_MAX_SAMPLES):
+    def __init__(self, name: str, max_samples: int = DEFAULT_MAX_SAMPLES) -> None:
         self.name = name
         self.count = 0
         self.total = 0.0
@@ -157,7 +157,7 @@ class Timer:
 
     __slots__ = ("histogram", "_clock", "_starts")
 
-    def __init__(self, histogram: Histogram, clock: Clock):
+    def __init__(self, histogram: Histogram, clock: Clock) -> None:
         self.histogram = histogram
         self._clock = clock
         self._starts: List[float] = []
@@ -171,7 +171,7 @@ class Timer:
         self._starts.append(self._clock())
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.histogram.observe(self._clock() - self._starts.pop())
 
 
@@ -192,7 +192,7 @@ class Stopwatch:
 
     __slots__ = ("total", "laps", "_clock", "_starts")
 
-    def __init__(self, clock: Clock = time.perf_counter):
+    def __init__(self, clock: Clock = time.perf_counter) -> None:
         self.total = 0.0
         self.laps = 0
         self._clock = clock
@@ -202,7 +202,7 @@ class Stopwatch:
         self._starts.append(self._clock())
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.total += self._clock() - self._starts.pop()
         self.laps += 1
 
@@ -216,7 +216,7 @@ class MetricsRegistry:
     default instance, but tests may build private ones.
     """
 
-    def __init__(self, clock: Clock = time.perf_counter):
+    def __init__(self, clock: Clock = time.perf_counter) -> None:
         self._clock = clock
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}

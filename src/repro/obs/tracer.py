@@ -97,12 +97,12 @@ class SpanAggregate:
         }
 
 
-class _ActiveSpan:
+class ActiveSpan:
     """Context manager handed out by :meth:`Tracer.span`."""
 
     __slots__ = ("_tracer", "_span")
 
-    def __init__(self, tracer: "Tracer", span: Span):
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
         self._tracer = tracer
         self._span = span
 
@@ -111,15 +111,15 @@ class _ActiveSpan:
         """The underlying span record (attrs may be added while open)."""
         return self._span
 
-    def set_attr(self, key: str, value: object) -> "_ActiveSpan":
+    def set_attr(self, key: str, value: object) -> "ActiveSpan":
         """Attach an attribute to the span."""
         self._span.attrs[key] = value
         return self
 
-    def __enter__(self) -> "_ActiveSpan":
+    def __enter__(self) -> "ActiveSpan":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self._tracer._finish(self._span)
 
 
@@ -130,7 +130,7 @@ class Tracer:
         self,
         clock: Clock = time.perf_counter,
         max_spans: int = DEFAULT_MAX_SPANS,
-    ):
+    ) -> None:
         self._clock = clock
         self.max_spans = max_spans
         self._spans: List[Span] = []
@@ -142,9 +142,10 @@ class Tracer:
 
     @property
     def _stack(self) -> List[Span]:
-        stack = getattr(self._local, "stack", None)
+        stack: Optional[List[Span]] = getattr(self._local, "stack", None)
         if stack is None:
-            stack = self._local.stack = []
+            stack = []
+            self._local.stack = stack
         return stack
 
     # ------------------------------------------------------------------
@@ -167,7 +168,7 @@ class Tracer:
         return self._stack[-1] if self._stack else None
 
     # ------------------------------------------------------------------
-    def span(self, name: str, **attrs: object) -> _ActiveSpan:
+    def span(self, name: str, **attrs: object) -> ActiveSpan:
         """Open a span; use as a context manager."""
         stack = self._stack
         parent = stack[-1].index if stack else None
@@ -183,7 +184,7 @@ class Tracer:
             attrs=dict(attrs),
         )
         stack.append(span)
-        return _ActiveSpan(self, span)
+        return ActiveSpan(self, span)
 
     def _finish(self, span: Span) -> None:
         stack = self._stack
@@ -193,12 +194,13 @@ class Tracer:
                 f"open stack: {[s.name for s in stack]}"
             )
         stack.pop()
-        span.end = self._clock()
+        end = self._clock()
+        span.end = end
         with self._lock:
             aggregate = self._aggregates.get(span.name)
             if aggregate is None:
                 aggregate = self._aggregates[span.name] = SpanAggregate(span.name)
-            aggregate.add(span.duration)
+            aggregate.add(end - span.start)
             if len(self._spans) < self.max_spans:
                 self._spans.append(span)
             else:

@@ -28,6 +28,7 @@ Modes:
 from __future__ import annotations
 
 import itertools
+import threading
 import zlib
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -46,6 +47,9 @@ _MODES = ("serial", "thread", "process")
 #: executor key to its cache-less preprocessing module. Populated in the
 #: parent *before* the pool forks, read-only in the children.
 _FORK_REGISTRY: Dict[int, PreprocessingModule] = {}
+#: Guards registry writes: executors can be constructed/closed from any
+#: thread (forked workers only ever read their inherited copy).
+_FORK_LOCK = threading.Lock()
 _EXECUTOR_KEYS = itertools.count(1)
 
 
@@ -210,7 +214,8 @@ class ShardedFilterExecutor:
             ) from None
         # Workers fork lazily on first submit; the registry entry must be
         # in place before that so children inherit it.
-        _FORK_REGISTRY[self._key] = self.preprocessing
+        with _FORK_LOCK:
+            _FORK_REGISTRY[self._key] = self.preprocessing
         self._process_pool = ProcessPoolExecutor(
             max_workers=self.num_shards, mp_context=context
         )
@@ -257,7 +262,8 @@ class ShardedFilterExecutor:
         if self._process_pool is not None:
             self._process_pool.shutdown(wait=True)
             self._process_pool = None
-        _FORK_REGISTRY.pop(self._key, None)
+        with _FORK_LOCK:
+            _FORK_REGISTRY.pop(self._key, None)
 
     def __enter__(self) -> "ShardedFilterExecutor":
         return self

@@ -1,0 +1,37 @@
+"""CLK rule fixture: wall-clock patterns, violating and compliant.
+
+Parsed (never executed) by ``tests/test_analysis_lint.py`` under a
+virtual ``src/repro/service/`` path. ``violating_*`` functions each draw
+at least one CLK finding; ``compliant_*`` / the injected-clock class
+draw none.
+"""
+
+import time
+from datetime import datetime
+from typing import Callable
+
+
+def violating_wall_clock_read() -> float:
+    return time.time()
+
+
+def violating_real_sleep(seconds: float) -> None:
+    time.sleep(seconds)
+
+
+def violating_datetime_factory() -> str:
+    return datetime.now().isoformat()
+
+
+def violating_default_argument(clock: Callable[[], float] = time.monotonic) -> float:
+    return clock()
+
+
+class CompliantInjectedClock:
+    """The sanctioned shape: time arrives as a constructor argument."""
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+
+    def compliant_now(self) -> float:
+        return self._clock()

@@ -1,0 +1,40 @@
+"""DET rule fixture: RNG patterns, violating and compliant.
+
+This module is *parsed* by ``tests/test_analysis_lint.py`` under a
+virtual ``src/repro/service/`` path — it is never imported or executed.
+Functions named ``violating_*`` must each draw at least one DET finding;
+functions named ``compliant_*`` must draw none.
+"""
+
+import random
+
+import numpy as np
+
+from repro.rng import child_rng
+
+
+def violating_global_stream() -> float:
+    return random.random()
+
+
+def violating_unseeded_engine() -> float:
+    engine = random.Random()
+    return engine.random()
+
+
+def violating_numpy_global_state(n: int) -> float:
+    np.random.seed(n)
+    return float(np.random.random())
+
+
+def violating_unseeded_default_rng() -> float:
+    return float(np.random.default_rng().random())
+
+
+def compliant_child_stream(seed: int, second: int, object_id: str) -> float:
+    rng = child_rng(seed, f"pf:{second}:{object_id}")
+    return float(rng.random())
+
+
+def compliant_seeded_default_rng(seed: int) -> float:
+    return float(np.random.default_rng(seed).random())

@@ -1,0 +1,29 @@
+"""FP rule fixture: float-comparison patterns, violating and compliant.
+
+Parsed (never executed) by ``tests/test_analysis_lint.py`` under a
+virtual ``src/repro/geometry/`` path. ``violating_*`` functions each
+draw at least one FP finding; ``compliant_*`` and ``pragmad_*`` draw
+none (the latter via a line pragma, which the tests count).
+"""
+
+
+class _Vec:
+    def __init__(self, x: float, y: float) -> None:
+        self.x = x
+        self.y = y
+
+
+def violating_coordinate_equality(p: _Vec, q: _Vec) -> bool:
+    return p.x == q.x and p.y == q.y
+
+
+def violating_zero_guard(length: float) -> bool:
+    return length == 0.0
+
+
+def pragmad_zero_guard(length: float) -> bool:
+    return length == 0.0  # repro-lint: disable=FP -- degenerate sentinel
+
+
+def compliant_tolerance(p: _Vec, q: _Vec, eps: float = 1e-9) -> bool:
+    return abs(p.x - q.x) <= eps and abs(p.y - q.y) <= eps

@@ -1,0 +1,28 @@
+"""IO rule fixture: durable-write patterns, violating and compliant.
+
+Parsed (never executed) by ``tests/test_analysis_lint.py`` under a
+virtual ``src/repro/service/`` path. ``violating_*`` functions each draw
+at least one IO finding; ``compliant_*`` functions draw none.
+"""
+
+import json
+import os
+from typing import Dict
+
+
+def violating_bare_write(path: str, payload: Dict[str, int]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+def compliant_atomic_write(path: str, payload: Dict[str, int]) -> None:
+    tmp_path = f"{path}.tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    os.replace(tmp_path, path)
+
+
+def compliant_read(path: str) -> Dict[str, int]:
+    with open(path, encoding="utf-8") as handle:
+        data: Dict[str, int] = json.load(handle)
+    return data

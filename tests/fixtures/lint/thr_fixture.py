@@ -1,0 +1,40 @@
+"""THR rule fixture: shared-state patterns, violating and compliant.
+
+Parsed (never executed) by ``tests/test_analysis_lint.py`` under a
+virtual ``src/repro/service/`` path. ``violating_*`` functions each draw
+at least one THR finding; ``compliant_*`` functions draw none.
+"""
+
+import threading
+from typing import Dict, Set
+
+_REGISTRY: Dict[str, int] = {}
+_SEEN: Set[str] = set()
+_REGISTRY_LOCK = threading.Lock()
+
+
+def violating_unguarded_store(key: str, value: int) -> None:
+    _REGISTRY[key] = value
+
+
+def violating_unguarded_method(key: str) -> None:
+    _SEEN.add(key)
+
+
+def violating_bare_acquire() -> None:
+    # Draws two findings: the bare .acquire() itself, and the mutation it
+    # "guards" — the linter (correctly) cannot see a lock held this way.
+    _REGISTRY_LOCK.acquire()
+    try:
+        _REGISTRY.clear()
+    finally:
+        _REGISTRY_LOCK.release()
+
+
+def compliant_guarded_store(key: str, value: int) -> None:
+    with _REGISTRY_LOCK:
+        _REGISTRY[key] = value
+
+
+def compliant_read_only(key: str) -> int:
+    return _REGISTRY.get(key, 0)
