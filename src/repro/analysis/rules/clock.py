@@ -63,6 +63,7 @@ class ClockRule:
         severity=Severity.ERROR,
         applies_to=(
             "repro/core",
+            "repro/filters",
             "repro/service",
             "repro/sim",
             "repro/collector",

@@ -57,7 +57,7 @@ class DeterminismRule:
             "flows through repro.rng seeded factories (child_rng et al.)"
         ),
         severity=Severity.ERROR,
-        applies_to=("repro/core", "repro/service", "repro/sim"),
+        applies_to=("repro/core", "repro/filters", "repro/service", "repro/sim"),
         exempt=(),
     )
 

@@ -138,6 +138,7 @@ class ThreadSafetyRule:
         severity=Severity.ERROR,
         applies_to=(
             "repro/core",
+            "repro/filters",
             "repro/service",
             "repro/cache",
             "repro/collector",

@@ -1,5 +1,15 @@
 """Cache management module (paper Section 4.5)."""
 
-from repro.cache.particle_cache import CachedParticleState, CacheStats, ParticleCacheManager
+from repro.cache.particle_cache import (
+    CachedFilterState,
+    CachedParticleState,
+    CacheStats,
+    ParticleCacheManager,
+)
 
-__all__ = ["CachedParticleState", "CacheStats", "ParticleCacheManager"]
+__all__ = [
+    "CachedFilterState",
+    "CachedParticleState",
+    "CacheStats",
+    "ParticleCacheManager",
+]

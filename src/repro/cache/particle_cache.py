@@ -1,13 +1,16 @@
 """Cache management module (paper Section 4.5).
 
-Stores each object's particle state after a filter run so that a later
+Stores each object's filter state after a filter run so that a later
 query over the same object resumes filtering from the cached timestamp
-instead of replaying from scratch.
+instead of replaying from scratch. The cache is backend-agnostic: it
+holds any :class:`repro.filters.base.FilterState` (particle sets, Kalman
+mixtures, ...) and tags its serialized form with the owning backend's
+name and state version so checkpoints refuse incompatible restores.
 
 Invalidation policy (exactly as the paper argues): a cached state is only
 valid while the object has not been detected by a *new* device since it
 was stored — once a new device run begins, the retained reading window
-shifts and the old particles would mix inconsistent information. The
+shifts and the old state would mix inconsistent information. The
 collector exposes a per-object ``device_generation`` counter; the cache
 compares generations on lookup.
 """
@@ -16,20 +19,27 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
 
 import repro.obs as obs
 from repro.core.particles import ParticleSet
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.filters.base import FilterState
+
 
 @dataclass
-class CachedParticleState:
-    """One cache entry: particle state of one object at one second."""
+class CachedFilterState:
+    """One cache entry: filter state of one object at one second."""
 
     object_id: str
-    particles: ParticleSet
+    state: "FilterState"
     state_second: int
     device_generation: int
+
+
+#: Backwards-compatible name from the particle-only cache era.
+CachedParticleState = CachedFilterState
 
 
 @dataclass
@@ -52,7 +62,13 @@ class CacheStats:
 
 
 class ParticleCacheManager:
-    """Per-object particle state cache with generation-based invalidation.
+    """Per-object filter state cache with generation-based invalidation.
+
+    Despite the historical name, the manager caches *any* backend's
+    filter state; ``backend`` / ``state_version`` record whose states it
+    holds so serialized caches are self-describing. The default
+    ``decoder`` keeps plain ``ParticleCacheManager()`` (and pre-backend
+    checkpoints) decoding particle sets.
 
     Thread-safe: the sharded executor (:mod:`repro.service.shards`) shares
     one cache across its worker threads, so lookups, stores, and the
@@ -60,17 +76,27 @@ class ParticleCacheManager:
     object, so concurrent shards never contend on the same entry.
     """
 
-    def __init__(self) -> None:
-        self._entries: Dict[str, CachedParticleState] = {}
+    def __init__(
+        self,
+        backend: str = "particle",
+        state_version: int = 1,
+        decoder: "Optional[Callable[[Dict[str, object]], FilterState]]" = None,
+    ) -> None:
+        self.backend = backend
+        self.state_version = state_version
+        self._decoder: "Callable[[Dict[str, object]], FilterState]" = (
+            decoder if decoder is not None else ParticleSet.from_state
+        )
+        self._entries: Dict[str, CachedFilterState] = {}
         self._lock = threading.Lock()
         self.stats = CacheStats()
 
     def lookup(
         self, object_id: str, device_generation: int
-    ) -> Optional[Tuple[ParticleSet, int]]:
+    ) -> "Optional[Tuple[FilterState, int]]":
         """Fetch a resumable state, or None on miss/stale entry.
 
-        Returns ``(particles_copy, state_second)``. Stale entries (device
+        Returns ``(state_copy, state_second)``. Stale entries (device
         generation changed) are evicted on sight.
         """
         with self._lock:
@@ -88,20 +114,20 @@ class ParticleCacheManager:
                 return None
             self.stats.hits += 1
             obs.add("cache.hits")
-            return entry.particles.copy(), entry.state_second
+            return entry.state.copy(), entry.state_second
 
     def store(
         self,
         object_id: str,
-        particles: ParticleSet,
+        state: "FilterState",
         state_second: int,
         device_generation: int,
     ) -> None:
-        """Insert or replace an object's cached state (copies the particles)."""
+        """Insert or replace an object's cached state (copies the state)."""
         with self._lock:
-            self._entries[object_id] = CachedParticleState(
+            self._entries[object_id] = CachedFilterState(
                 object_id=object_id,
-                particles=particles.copy(),
+                state=state.copy(),
                 state_second=state_second,
                 device_generation=device_generation,
             )
@@ -122,32 +148,55 @@ class ParticleCacheManager:
     def state_dict(self) -> dict:
         """All entries as a JSON-safe dict (statistics are not included).
 
-        Particle arrays round-trip bit-for-bit through
-        :meth:`~repro.core.particles.ParticleSet.to_state`, which is what
-        makes a restored service resume *exactly* where it left off: a
-        resumed filter run replays the same seconds from the same state.
+        Filter states round-trip bit-for-bit through their ``to_state``
+        methods, which is what makes a restored service resume *exactly*
+        where it left off: a resumed filter run replays the same seconds
+        from the same state. The document carries the owning backend's
+        name and state version so restores can refuse mismatches.
         """
         with self._lock:
             return {
-                object_id: {
-                    "state_second": entry.state_second,
-                    "device_generation": entry.device_generation,
-                    "particles": entry.particles.to_state(),
-                }
-                for object_id, entry in self._entries.items()
+                "backend": self.backend,
+                "state_version": self.state_version,
+                "entries": {
+                    object_id: {
+                        "state_second": entry.state_second,
+                        "device_generation": entry.device_generation,
+                        "state": entry.state.to_state(),
+                    }
+                    for object_id, entry in self._entries.items()
+                },
             }
 
     def restore_state(self, state: dict) -> None:
-        """Replace all entries from :meth:`state_dict` output."""
+        """Replace all entries from :meth:`state_dict` output.
+
+        Raises ``FilterStateError`` when the document was produced by a
+        different backend or an incompatible state version.
+        """
+        from repro.filters.base import FilterStateError
+
+        backend = state.get("backend", "particle")
+        version = int(state.get("state_version", 1))
+        if backend != self.backend:
+            raise FilterStateError(
+                f"cached filter states belong to backend {backend!r}; "
+                f"this cache decodes {self.backend!r} states"
+            )
+        if version != self.state_version:
+            raise FilterStateError(
+                f"cached {self.backend!r} states have state version "
+                f"{version}; this cache speaks version {self.state_version}"
+            )
         with self._lock:
             self._entries = {
-                object_id: CachedParticleState(
+                object_id: CachedFilterState(
                     object_id=object_id,
-                    particles=ParticleSet.from_state(entry["particles"]),
+                    state=self._decoder(entry["state"]),
                     state_second=int(entry["state_second"]),
                     device_generation=int(entry["device_generation"]),
                 )
-                for object_id, entry in state.items()
+                for object_id, entry in state["entries"].items()
             }
 
     def __contains__(self, object_id: str) -> bool:

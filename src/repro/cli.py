@@ -33,8 +33,10 @@ import repro.obs as obs
 from repro.analysis.baseline import DEFAULT_BASELINE
 from repro.config import DEFAULT_CONFIG
 from repro.geometry import Point, Rect
+from repro.filters import DEFAULT_BACKEND, available_backends
 from repro.sim.experiments import (
     format_rows,
+    run_backend_comparison,
     run_figure9,
     run_figure10,
     run_figure11,
@@ -49,6 +51,27 @@ _FIGURES = {
     "fig12": run_figure12,
     "fig13": run_figure13,
 }
+
+
+def _add_filter_option(
+    subparser: argparse.ArgumentParser, default: Optional[str] = DEFAULT_BACKEND
+) -> None:
+    """The shared ``--filter`` backend selector.
+
+    ``serve`` passes ``default=None`` so a restore with no explicit
+    ``--filter`` adopts the checkpoint's recorded backend.
+    """
+    if default is None:
+        note = f"default: {DEFAULT_BACKEND}; --restore adopts the checkpoint's"
+    else:
+        note = f"default: {default}"
+    subparser.add_argument(
+        "--filter",
+        dest="filter_backend",
+        choices=available_backends(),
+        default=default,
+        help=f"Bayesian filter backend ({note})",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -83,6 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="JSON",
         help="enable observability and write metrics + spans here",
     )
+    _add_filter_option(simulate)
 
     render = subparsers.add_parser(
         "render", help="draw a floor plan as ASCII"
@@ -98,7 +122,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment = subparsers.add_parser(
         "experiment", help="regenerate a figure of the paper's evaluation"
     )
-    experiment.add_argument("figure", choices=sorted(_FIGURES))
+    experiment.add_argument("figure", choices=sorted(_FIGURES) + ["backends"])
     experiment.add_argument("--objects", type=int, default=None)
     experiment.add_argument("--seconds", type=int, default=None)
     experiment.add_argument("--seed", type=int, default=None)
@@ -108,6 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="JSON",
         help="enable observability and write metrics + spans here",
     )
+    _add_filter_option(experiment)
 
     serve = subparsers.add_parser(
         "serve", help="run the online tracking & query-serving service"
@@ -170,6 +195,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="JSON",
         help="enable observability and write metrics + spans here",
     )
+    _add_filter_option(serve, default=None)
 
     subparsers.add_parser("demo", help="run a quick end-to-end demo")
 
@@ -260,7 +286,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     config = DEFAULT_CONFIG.with_overrides(
         num_objects=args.objects, seed=args.seed
     )
-    sim = Simulation(config, build_symbolic=False)
+    sim = Simulation(
+        config, build_symbolic=False, filter_backend=args.filter_backend
+    )
 
     all_readings = []
     for _ in range(args.seconds):
@@ -277,7 +305,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
     print(
         f"simulated {args.seconds} s, {args.objects} objects, "
-        f"{len(all_readings)} raw readings"
+        f"{len(all_readings)} raw readings "
+        f"({args.filter_backend} filter)"
     )
     if args.plan:
         save_floorplan(sim.plan, args.plan)
@@ -300,6 +329,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 "objects": args.objects,
                 "seconds": args.seconds,
                 "seed": args.seed,
+                "filter": args.filter_backend,
             },
         )
     return 0
@@ -326,8 +356,13 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.seed is not None:
         config = config.with_overrides(seed=args.seed)
 
-    rows = _FIGURES[args.figure](config)
-    print(format_rows(rows, title=f"{args.figure} (paper Figure {args.figure[3:]})"))
+    if args.figure == "backends":
+        rows = run_backend_comparison(config)
+        title = "backends (filter backend comparison)"
+    else:
+        rows = _FIGURES[args.figure](config, filter_backend=args.filter_backend)
+        title = f"{args.figure} (paper Figure {args.figure[3:]})"
+    print(format_rows(rows, title=title))
 
     if args.out_csv:
         from repro.io import save_rows_csv
@@ -340,7 +375,14 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         save_rows_json(rows, args.out_json)
         print(f"rows -> {args.out_json}")
     if tracing:
-        _finish_trace(args, meta={"command": "experiment", "figure": args.figure})
+        _finish_trace(
+            args,
+            meta={
+                "command": "experiment",
+                "figure": args.figure,
+                "filter": args.filter_backend,
+            },
+        )
     return 0
 
 
@@ -458,6 +500,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.io import load_deployment, load_floorplan
     from repro.service import (
         BoundedQueue,
+        CheckpointCompatibilityError,
         EpochScheduler,
         LiveSimSource,
         ReplaySource,
@@ -475,17 +518,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             tags = {str(k): str(v) for k, v in _json.load(handle).items()}
 
     if args.restore:
-        service = restore_from_file(
-            args.restore,
-            plan=plan,
-            readers=readers,
-            num_shards=args.shards,
-            mode=args.shard_mode,
-            use_cache=None if not args.no_cache else False,
-        )
+        try:
+            service = restore_from_file(
+                args.restore,
+                plan=plan,
+                readers=readers,
+                num_shards=args.shards,
+                mode=args.shard_mode,
+                use_cache=None if not args.no_cache else False,
+                filter_backend=args.filter_backend,
+            )
+        except CheckpointCompatibilityError as exc:
+            print(f"repro: error: {exc}", file=sys.stderr)
+            return 2
         print(
             f"restored from {args.restore}: tick {service.ticks}, "
-            f"second {service.last_second}"
+            f"second {service.last_second}, "
+            f"filter {service.executor.filter_backend.name}"
         )
     else:
         config = DEFAULT_CONFIG
@@ -503,6 +552,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             use_cache=not args.no_cache,
             use_pruning=args.prune,
             seed=args.seed,
+            filter_backend=args.filter_backend or DEFAULT_BACKEND,
         )
 
     on_delta = None if args.quiet else lambda delta: print(_format_delta(delta))
@@ -580,6 +630,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 "shards": args.shards,
                 "mode": args.shard_mode,
                 "ticks": ticks,
+                "filter": service.executor.filter_backend.name,
             },
         )
     return 0

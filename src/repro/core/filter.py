@@ -109,17 +109,29 @@ class ParticleFilter:
             obs.add("filter.seconds_replayed", max(t_end - t_state, 0))
 
             for second in range(t_state + 1, t_end + 1):
-                with obs.timer("filter.predict"):
-                    self.motion.step(particles, generator, dt=1.0)
+                self.predict(particles, generator, dt=1.0)
                 reader_id = history.reading_at(second)
                 if reader_id is None:
                     if self.config.use_negative_information:
-                        self._observe_silence(particles, generator)
+                        self.observe_silence(particles, generator)
                     continue
-                self._observe(particles, reader_id, generator)
+                self.observe(particles, reader_id, generator)
         return FilterResult(particles=particles, end_second=t_end)
 
-    def _observe_silence(
+    def predict(
+        self, particles: ParticleSet, rng: np.random.Generator, dt: float = 1.0
+    ) -> None:
+        """Advance every particle by ``dt`` seconds (the motion model step).
+
+        Exposed as a public primitive (together with :meth:`observe` and
+        :meth:`observe_silence`) so the :mod:`repro.filters` particle
+        backend can drive the same predict/update sequence :meth:`run`
+        executes, with the identical RNG draw order.
+        """
+        with obs.timer("filter.predict"):
+            self.motion.step(particles, rng, dt=dt)
+
+    def observe_silence(
         self, particles: ParticleSet, rng: np.random.Generator
     ) -> None:
         """Negative-information extension: no reading is also evidence.
@@ -150,14 +162,17 @@ class ParticleFilter:
                 self._replace(particles, resampled)
 
     # ------------------------------------------------------------------
-    def _initialize(self, history: ReadingHistory, rng: np.random.Generator) -> ParticleSet:
+    def initialize(self, history: ReadingHistory, rng: np.random.Generator) -> ParticleSet:
         """Algorithm 2 line 5: seed within the older device's range."""
         reader = self.readers[history.initial_reader_id]
         return self.motion.initialize_in_circle(
             self.config.num_particles, reader.detection_circle, rng
         )
 
-    def _observe(
+    # Backwards-compatible alias (pre-repro.filters name).
+    _initialize = initialize
+
+    def observe(
         self, particles: ParticleSet, reader_id: str, rng: np.random.Generator
     ) -> None:
         """Reweight, normalize, and resample on one observation."""

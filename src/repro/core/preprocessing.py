@@ -1,9 +1,15 @@
-"""Particle filter-based preprocessing module (paper Section 4.4).
+"""Filter-based preprocessing module (paper Section 4.4).
 
 Receives the candidate set from the query-aware optimization module, runs
-(or resumes) the particle filter for each candidate, discretizes the
-result onto anchor points, and fills the ``APtoObjHT`` hash table that the
-query evaluation module reads.
+(or resumes) the configured Bayesian filter backend for each candidate,
+discretizes the result onto anchor points, and fills the ``APtoObjHT``
+hash table that the query evaluation module reads.
+
+The estimator is pluggable (:mod:`repro.filters`): the module accepts a
+backend name or instance and drives it purely through the
+:class:`~repro.filters.base.FilterBackend` contract, so the particle
+filter, the graph-Kalman filter, and the symbolic baseline all flow
+through this exact code path.
 """
 
 from __future__ import annotations
@@ -13,10 +19,8 @@ from typing import TYPE_CHECKING, Callable, Iterable, Optional
 import repro.obs as obs
 from repro.collector.collector import EventDrivenCollector
 from repro.config import SimulationConfig
-from repro.core.compiled import CompiledAnchors, CompiledGraph
-from repro.core.discretize import particles_to_anchor_distribution
-from repro.core.filter import ParticleFilter
 from repro.core.resampling import systematic_resample
+from repro.filters.registry import BackendSpec, create_backend
 from repro.graph.anchors import AnchorIndex
 from repro.graph.walking_graph import WalkingGraph
 from repro.rng import RngLike, make_rng
@@ -26,7 +30,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 
 class PreprocessingModule:
-    """Runs particle filters for candidate objects and builds ``APtoObjHT``."""
+    """Runs filter backends for candidate objects and builds ``APtoObjHT``."""
 
     def __init__(
         self,
@@ -36,20 +40,25 @@ class PreprocessingModule:
         config: SimulationConfig,
         cache: "Optional[ParticleCacheManager]" = None,
         resampler=systematic_resample,
+        backend: BackendSpec = "particle",
     ):
         self.graph = graph
         self.anchor_index = anchor_index
         self.config = config
-        self.cache = cache
-        self.compiled_graph = CompiledGraph(graph)
-        self.compiled_anchors = CompiledAnchors(anchor_index)
-        readers_by_id = {r.reader_id: r for r in readers} if not isinstance(
-            readers, dict
-        ) else dict(readers)
-        self.readers = readers_by_id
-        self.filter = ParticleFilter(
-            self.compiled_graph, readers_by_id, config, resampler=resampler
+        self.backend = create_backend(
+            backend, graph, anchor_index, readers, config, resampler=resampler
         )
+        # Stateless backends have nothing worth resuming; drop the cache
+        # so lookups are not wasted (and stats stay meaningful).
+        self.cache = cache if self.backend.cacheable else None
+        self.compiled_graph = self.backend.compiled_graph
+        self.compiled_anchors = self.backend.compiled_anchors
+        self.readers = self.backend.readers
+
+    @property
+    def filter(self):
+        """The particle backend's underlying filter (legacy accessor)."""
+        return self.backend.filter  # type: ignore[attr-defined]
 
     def process(
         self,
@@ -87,17 +96,15 @@ class PreprocessingModule:
             object_rng = (
                 generator if rng_factory is None else make_rng(rng_factory(object_id))
             )
-            result = self.filter.run(
+            run = self.backend.run(
                 history, current_second, rng=object_rng, resume=resume
             )
             if self.cache is not None:
                 self.cache.store(
-                    object_id, result.particles, result.end_second, generation
+                    object_id, run.state(), run.end_second, generation
                 )
             with obs.timer("preprocess.anchor_snap"):
-                distribution = particles_to_anchor_distribution(
-                    result.particles, self.compiled_graph, self.compiled_anchors
-                )
+                distribution = run.posterior()
             table.set_distribution(object_id, distribution)
             obs.add("preprocess.objects_filtered")
         return table

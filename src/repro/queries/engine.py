@@ -24,6 +24,7 @@ from repro.collector.historical import HistoricalCollector
 from repro.config import DEFAULT_CONFIG, SimulationConfig
 from repro.core.preprocessing import PreprocessingModule
 from repro.core.resampling import systematic_resample
+from repro.filters.registry import BackendSpec, create_backend
 from repro.floorplan.plan import FloorPlan
 from repro.geometry import Point, Rect
 from repro.graph.anchors import AnchorIndex, build_anchor_index
@@ -64,6 +65,7 @@ class IndoorQueryEngine:
         use_pruning: bool = True,
         historical: bool = False,
         resampler=systematic_resample,
+        filter_backend: BackendSpec = "particle",
     ):
         self.plan = plan
         self.config = config
@@ -76,7 +78,24 @@ class IndoorQueryEngine:
         self.readers = {r.reader_id: r for r in readers}
         collector_cls = HistoricalCollector if historical else EventDrivenCollector
         self.collector = collector_cls(tag_to_object)
-        self.cache = ParticleCacheManager() if use_cache else None
+        self.resampler = resampler
+        self.filter_backend = create_backend(
+            filter_backend,
+            self.graph,
+            self.anchor_index,
+            self.readers,
+            config,
+            resampler=resampler,
+        )
+        self.cache = (
+            ParticleCacheManager(
+                backend=self.filter_backend.name,
+                state_version=self.filter_backend.state_version,
+                decoder=self.filter_backend.state_from_dict,
+            )
+            if use_cache and self.filter_backend.cacheable
+            else None
+        )
         self.use_pruning = use_pruning
         self.optimizer = QueryAwareOptimizer(
             self.graph, self.anchor_index, self.readers, config
@@ -88,6 +107,7 @@ class IndoorQueryEngine:
             config,
             cache=self.cache,
             resampler=resampler,
+            backend=self.filter_backend,
         )
         self._range_queries: List[RangeQuery] = []
         self._knn_queries: List[KNNQuery] = []
@@ -171,7 +191,11 @@ class IndoorQueryEngine:
             else:
                 candidates = set(self.collector.observed_objects())
 
-            with obs.span("engine.filter", candidates=len(candidates)):
+            with obs.span(
+                "engine.filter",
+                candidates=len(candidates),
+                backend=self.filter_backend.name,
+            ):
                 table = self.preprocessing.process(
                     sorted(candidates), self.collector, now, generator
                 )
@@ -269,7 +293,8 @@ class IndoorQueryEngine:
                 self.readers,
                 self.config,
                 cache=None,
-                resampler=self.preprocessing.filter.resampler,
+                resampler=self.resampler,
+                backend=self.filter_backend,
             )
         return self._historical_pp
 

@@ -41,3 +41,22 @@ def child_seed(seed: int, label: str) -> int:
 def child_rng(seed: int, label: str) -> np.random.Generator:
     """A fresh generator seeded from ``child_seed(seed, label)``."""
     return np.random.default_rng(child_seed(seed, label))
+
+
+def filter_run_label(second: int, object_id: str) -> str:
+    """The canonical child-stream label of one object's filter run at one tick.
+
+    Every per-object filter run in the system — serial, thread-sharded,
+    process-sharded, or resumed from a checkpoint — must derive its
+    generator from this exact label, which is what makes results
+    bit-identical across shard counts and restarts (the PR-2 shard
+    determinism scheme). Filter backends get their stream through
+    :func:`filter_run_rng` instead of formatting the label themselves, so
+    the convention cannot drift between backends.
+    """
+    return f"pf:{second}:{object_id}"
+
+
+def filter_run_rng(seed: int, second: int, object_id: str) -> np.random.Generator:
+    """The private generator of one object's filter run at one tick."""
+    return child_rng(seed, filter_run_label(second, object_id))

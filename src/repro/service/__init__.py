@@ -23,6 +23,7 @@ restore → resume sequence reproduces an uninterrupted run tick-for-tick.
 
 from repro.service.checkpoint import (
     CHECKPOINT_FORMAT,
+    CheckpointCompatibilityError,
     load_checkpoint,
     restore_from_file,
     restore_service,
@@ -57,6 +58,7 @@ __all__ = [
     "TrackingService",
     "load_checkpoint",
     "partition_objects",
+    "CheckpointCompatibilityError",
     "restore_from_file",
     "restore_service",
     "save_checkpoint",

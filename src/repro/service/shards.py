@@ -36,10 +36,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import repro.obs as obs
 from repro.collector.collector import DeviceRun, ReadingHistory
 from repro.config import SimulationConfig
-from repro.core.discretize import particles_to_anchor_distribution
 from repro.core.preprocessing import PreprocessingModule
+from repro.filters.registry import BackendSpec
 from repro.index.hashtable import AnchorObjectTable
-from repro.rng import child_rng
+from repro.rng import filter_run_rng
 
 _MODES = ("serial", "thread", "process")
 
@@ -89,12 +89,9 @@ def _run_process_shard(payload) -> List[Tuple[str, Dict[int, float]]]:
                 for r in runs
             ),
         )
-        rng = child_rng(seed, f"pf:{second}:{object_id}")
-        result = pp.filter.run(history, second, rng=rng)
-        distribution = particles_to_anchor_distribution(
-            result.particles, pp.compiled_graph, pp.compiled_anchors
-        )
-        results.append((object_id, distribution))
+        rng = filter_run_rng(seed, second, object_id)
+        run = pp.backend.run(history, second, rng=rng)
+        results.append((object_id, run.posterior()))
     return results
 
 
@@ -112,6 +109,7 @@ class ShardedFilterExecutor:
         use_cache: bool = True,
         seed: Optional[int] = None,
         resampler=None,
+        filter_backend: BackendSpec = "particle",
     ):
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
@@ -122,12 +120,26 @@ class ShardedFilterExecutor:
         self.seed = seed if seed is not None else config.seed
         from repro.cache.particle_cache import ParticleCacheManager
         from repro.core.resampling import systematic_resample
+        from repro.filters.registry import create_backend
 
         resampler = resampler if resampler is not None else systematic_resample
-        self.cache = ParticleCacheManager() if (use_cache and mode != "process") else None
+        self.filter_backend = create_backend(
+            filter_backend, graph, anchor_index, readers, config,
+            resampler=resampler,
+        )
+        self.cache = (
+            ParticleCacheManager(
+                backend=self.filter_backend.name,
+                state_version=self.filter_backend.state_version,
+                decoder=self.filter_backend.state_from_dict,
+            )
+            if (use_cache and mode != "process" and self.filter_backend.cacheable)
+            else None
+        )
         self.preprocessing = PreprocessingModule(
             graph, anchor_index, readers, config,
             cache=self.cache, resampler=resampler,
+            backend=self.filter_backend,
         )
         self._thread_pool: Optional[ThreadPoolExecutor] = None
         self._process_pool: Optional[ProcessPoolExecutor] = None
@@ -138,7 +150,7 @@ class ShardedFilterExecutor:
     # ------------------------------------------------------------------
     def rng_for(self, second: int, object_id: str):
         """The private generator of one object's filter run at one tick."""
-        return child_rng(self.seed, f"pf:{second}:{object_id}")
+        return filter_run_rng(self.seed, second, object_id)
 
     def build_table(
         self, candidates: Sequence[str], collector, second: int

@@ -40,6 +40,7 @@ from repro.queries.types import KNNQuery, KNNResult, RangeQuery, RangeResult
 from repro.queries.knn_query import evaluate_knn_query
 from repro.queries.range_query import evaluate_range_query
 from repro.rfid.deployment import deploy_readers_uniform
+from repro.filters.registry import BackendSpec
 from repro.service.ingest import ReadingBatch
 from repro.service.sessions import SessionManager
 from repro.service.shards import ShardedFilterExecutor
@@ -75,6 +76,7 @@ class TrackingService:
         seed: Optional[int] = None,
         report_threshold: float = 0.05,
         min_change: float = 0.10,
+        filter_backend: BackendSpec = "particle",
     ):
         self.config = config
         if config.observability and not obs.enabled():
@@ -101,6 +103,7 @@ class TrackingService:
             mode=mode,
             use_cache=use_cache,
             seed=self.seed,
+            filter_backend=filter_backend,
         )
         self.use_pruning = use_pruning
         self.optimizer = QueryAwareOptimizer(
@@ -196,6 +199,10 @@ class TrackingService:
             "use_pruning": self.use_pruning,
             "identity_tags": self._identity_tags,
             "config": self.config.to_dict(),
+            "filter": {
+                "backend": self.executor.filter_backend.name,
+                "state_version": self.executor.filter_backend.state_version,
+            },
             "collector": self.collector.state_dict(),
             "cache": (
                 self.executor.cache.state_dict()
@@ -206,7 +213,32 @@ class TrackingService:
         }
 
     def restore_state(self, state: dict) -> None:
-        """Restore from :meth:`state_dict` output (same world geometry)."""
+        """Restore from :meth:`state_dict` output (same world geometry).
+
+        Refuses (with ``CheckpointCompatibilityError``) to load state
+        produced by a different filter backend or an incompatible state
+        version: decoding another estimator's belief documents would
+        silently corrupt tracking.
+        """
+        from repro.service.checkpoint import CheckpointCompatibilityError
+
+        recorded = state.get(
+            "filter", {"backend": "particle", "state_version": 1}
+        )
+        backend = self.executor.filter_backend
+        if recorded["backend"] != backend.name:
+            raise CheckpointCompatibilityError(
+                f"checkpoint was produced by filter backend "
+                f"{recorded['backend']!r}, but this service runs "
+                f"{backend.name!r}; restart with --filter "
+                f"{recorded['backend']} or re-create the checkpoint"
+            )
+        if int(recorded["state_version"]) != backend.state_version:
+            raise CheckpointCompatibilityError(
+                f"checkpoint carries {backend.name!r} states at version "
+                f"{recorded['state_version']}, but this build speaks "
+                f"version {backend.state_version}; re-create the checkpoint"
+            )
         self.seed = int(state["seed"])
         self.executor.seed = self.seed
         self.ticks = int(state["ticks"])

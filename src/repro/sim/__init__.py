@@ -46,6 +46,7 @@ from repro.sim.analysis import (
 from repro.sim.experiments import (
     AccuracyReport,
     evaluate_accuracy,
+    run_backend_comparison,
     run_figure9,
     run_figure10,
     run_figure11,
@@ -78,6 +79,7 @@ __all__ = [
     "compare_methods",
     "AccuracyReport",
     "evaluate_accuracy",
+    "run_backend_comparison",
     "run_figure9",
     "run_figure10",
     "run_figure11",

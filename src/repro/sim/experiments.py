@@ -26,6 +26,7 @@ import numpy as np
 
 import repro.obs as obs
 from repro.config import DEFAULT_CONFIG, SimulationConfig
+from repro.filters.registry import BackendSpec
 from repro.queries.types import KNNQuery, RangeQuery
 from repro.sim.ground_truth import true_knn_result, true_range_result
 from repro.sim.metrics import knn_hit_rate, mean_of, range_query_kl, top_k_success
@@ -77,15 +78,22 @@ def evaluate_accuracy(
     measure_knn: bool = True,
     measure_topk: bool = True,
     simulation: Optional[Simulation] = None,
+    filter_backend: BackendSpec = "particle",
 ) -> AccuracyReport:
     """Run one simulation and measure the requested metrics.
 
     The object universe for every metric is the set of objects the
     collector has observed at evaluation time (after warm-up this is all
     objects); ground truth is restricted to the same universe so P and Q
-    compare like for like.
+    compare like for like. ``filter_backend`` selects the estimator the
+    probabilistic engine runs (it is ignored when an existing
+    ``simulation`` is passed in — that simulation's engine is reused).
     """
-    sim = simulation if simulation is not None else Simulation(config)
+    sim = (
+        simulation
+        if simulation is not None
+        else Simulation(config, filter_backend=filter_backend)
+    )
     report = AccuracyReport(config=config)
 
     kl_pf: List[Optional[float]] = []
@@ -212,6 +220,7 @@ FIGURE13_RANGES = (0.5, 1.0, 1.5, 2.0, 2.5)
 def run_figure9(
     config: SimulationConfig = DEFAULT_CONFIG,
     window_ratios: Sequence[float] = FIGURE9_WINDOW_RATIOS,
+    filter_backend: BackendSpec = "particle",
 ) -> List[Dict[str, object]]:
     """Figure 9: effects of query window size on range-query KL."""
     rows = []
@@ -220,6 +229,7 @@ def run_figure9(
             config.with_overrides(query_window_ratio=ratio),
             measure_knn=False,
             measure_topk=False,
+            filter_backend=filter_backend,
         )
         rows.append(report.as_row(window_ratio=ratio))
     return rows
@@ -228,6 +238,7 @@ def run_figure9(
 def run_figure10(
     config: SimulationConfig = DEFAULT_CONFIG,
     ks: Sequence[int] = FIGURE10_KS,
+    filter_backend: BackendSpec = "particle",
 ) -> List[Dict[str, object]]:
     """Figure 10: effects of k on kNN average hit rate."""
     rows = []
@@ -236,6 +247,7 @@ def run_figure10(
             config.with_overrides(k=k),
             measure_range=False,
             measure_topk=False,
+            filter_backend=filter_backend,
         )
         rows.append(report.as_row(k=k))
     return rows
@@ -244,11 +256,15 @@ def run_figure10(
 def run_figure11(
     config: SimulationConfig = DEFAULT_CONFIG,
     particle_counts: Sequence[int] = FIGURE11_PARTICLES,
+    filter_backend: BackendSpec = "particle",
 ) -> List[Dict[str, object]]:
     """Figure 11: effects of the number of particles (all three metrics)."""
     rows = []
     for count in particle_counts:
-        report = evaluate_accuracy(config.with_overrides(num_particles=count))
+        report = evaluate_accuracy(
+            config.with_overrides(num_particles=count),
+            filter_backend=filter_backend,
+        )
         rows.append(report.as_row(num_particles=count))
     return rows
 
@@ -256,11 +272,15 @@ def run_figure11(
 def run_figure12(
     config: SimulationConfig = DEFAULT_CONFIG,
     object_counts: Sequence[int] = FIGURE12_OBJECTS,
+    filter_backend: BackendSpec = "particle",
 ) -> List[Dict[str, object]]:
     """Figure 12: effects of the number of moving objects."""
     rows = []
     for count in object_counts:
-        report = evaluate_accuracy(config.with_overrides(num_objects=count))
+        report = evaluate_accuracy(
+            config.with_overrides(num_objects=count),
+            filter_backend=filter_backend,
+        )
         rows.append(report.as_row(num_objects=count))
     return rows
 
@@ -268,14 +288,46 @@ def run_figure12(
 def run_figure13(
     config: SimulationConfig = DEFAULT_CONFIG,
     activation_ranges: Sequence[float] = FIGURE13_RANGES,
+    filter_backend: BackendSpec = "particle",
 ) -> List[Dict[str, object]]:
     """Figure 13: effects of the reader activation range."""
     rows = []
     for activation_range in activation_ranges:
         report = evaluate_accuracy(
-            config.with_overrides(activation_range=activation_range)
+            config.with_overrides(activation_range=activation_range),
+            filter_backend=filter_backend,
         )
         rows.append(report.as_row(activation_range=activation_range))
+    return rows
+
+
+DEFAULT_COMPARISON_BACKENDS = ("particle", "kalman", "symbolic")
+
+
+def run_backend_comparison(
+    config: SimulationConfig = DEFAULT_CONFIG,
+    backends: Sequence[str] = DEFAULT_COMPARISON_BACKENDS,
+) -> List[Dict[str, object]]:
+    """Head-to-head accuracy and wall-time of the filter backends.
+
+    Every backend sees the identical world: the trajectory and reading
+    generation are seeded by the config, not by the estimator, so the
+    rows differ only in how each backend turns the same readings into
+    posteriors. Wall-time covers the full evaluation loop (filter runs
+    plus query evaluation) and is measured with the observability clock
+    so the sweep stays legal inside the CLK-linted simulation package.
+    """
+    rows = []
+    for backend in backends:
+        stopwatch = obs.stopwatch()
+        with stopwatch:
+            report = evaluate_accuracy(config, filter_backend=backend)
+        rows.append(
+            report.as_row(
+                backend=backend,
+                elapsed_s=round(stopwatch.total, 3),
+            )
+        )
     return rows
 
 

@@ -282,8 +282,8 @@ def test_injected_unseeded_rng_in_shards_is_caught():
     sabotaged = source.replace(
         "import itertools", "import itertools\nimport random", 1
     ).replace(
-        "rng = child_rng(seed,",
-        "rng = random.Random()  # sabotage\n        rng = child_rng(seed,",
+        "rng = filter_run_rng(seed,",
+        "rng = random.Random()  # sabotage\n        rng = filter_run_rng(seed,",
         1,
     )
     assert sabotaged != source

@@ -20,6 +20,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "fig99"])
 
+    def test_filter_backend_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--filter", "bogus"])
+        args = build_parser().parse_args(["simulate", "--filter", "kalman"])
+        assert args.filter_backend == "kalman"
+
+    def test_serve_filter_defaults_to_none(self):
+        args = build_parser().parse_args(["serve", "--live"])
+        assert args.filter_backend is None
+
 
 class TestSimulate:
     def test_exports_world_and_log(self, tmp_path, capsys):
@@ -94,6 +104,26 @@ class TestExperiment:
         assert out_csv.read_text().startswith("window_ratio")
         rows = json.loads(out_json.read_text())
         assert len(rows) == 5
+
+    def test_backend_comparison(self, tmp_path, capsys):
+        out_json = tmp_path / "rows.json"
+        code = main(
+            [
+                "experiment", "backends",
+                "--objects", "6",
+                "--seconds", "20",
+                "--seed", "2",
+                "--out-json", str(out_json),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "backend" in printed
+        rows = json.loads(out_json.read_text())
+        assert [row["backend"] for row in rows] == [
+            "particle", "kalman", "symbolic"
+        ]
+        assert all(row["elapsed_s"] >= 0 for row in rows)
 
 
 class TestDemo:

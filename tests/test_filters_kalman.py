@@ -1,0 +1,345 @@
+"""Unit tests of the graph-constrained Kalman filter backend.
+
+The mixture semantics mirror the particle motion/sensing model in
+closed form; these tests pin the behaviors that make it a sound
+estimator: junction splits conserve probability, dwelling atoms follow
+the stay/leave dynamics, the mixture stays bounded, depletion reseeds,
+and the whole filter is deterministic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.filters.kalman import (
+    GraphKalmanFilter,
+    KalmanBackend,
+    KalmanState,
+    _interval_mass,
+)
+from repro.sim import Simulation
+
+FAST = DEFAULT_CONFIG.with_overrides(num_objects=4, seed=23)
+
+
+@pytest.fixture(scope="module")
+def sim_world():
+    sim = Simulation(FAST, build_symbolic=False)
+    sim.run_for(25)
+    return sim
+
+
+@pytest.fixture(scope="module")
+def backend(sim_world):
+    return KalmanBackend(
+        sim_world.graph, sim_world.anchor_index, sim_world.readers, FAST
+    )
+
+
+def _weights(state):
+    return [r[6] for r in state.rows()]
+
+
+def _junction_and_arrival(backend):
+    """A hallway node with >= 3 edges, plus one arriving edge at node_a."""
+    compiled = backend.compiled_graph
+    for node in range(compiled.num_nodes):
+        if compiled.node_is_room[node]:
+            continue
+        edges = compiled.adjacency[node]
+        if len(edges) >= 3:
+            for edge in edges:
+                if int(compiled.edge_node_b[edge]) == node:
+                    return node, int(edge)
+    pytest.skip("floor plan has no hallway junction")
+
+
+def _room_door_edge(backend):
+    """An edge whose node_b is a room node (a door spur)."""
+    compiled = backend.compiled_graph
+    for edge in range(compiled.num_edges):
+        if compiled.node_is_room[int(compiled.edge_node_b[edge])]:
+            return edge
+    pytest.skip("floor plan has no room nodes")
+
+
+class TestIntervalMass:
+    def test_whole_line_is_one(self):
+        assert _interval_mass(0.0, 1.0, -100.0, 100.0) == pytest.approx(1.0)
+
+    def test_symmetric_half(self):
+        assert _interval_mass(0.0, 1.0, 0.0, 100.0) == pytest.approx(0.5)
+
+    def test_far_interval_is_zero(self):
+        assert _interval_mass(0.0, 0.01, 50.0, 60.0) == pytest.approx(0.0)
+
+
+class TestCoverage:
+    def test_every_reader_covers_something(self, backend):
+        for reader_id in backend.readers:
+            rows = backend.initial_rows(reader_id)
+            assert rows
+            assert sum(r[6] for r in rows) == pytest.approx(1.0)
+
+    def test_initial_rows_have_both_directions(self, backend):
+        rows = backend.initial_rows(sorted(backend.readers)[0])
+        velocities = {r[2] > 0 for r in rows}
+        assert velocities == {True, False}
+
+    def test_initial_rows_capped_and_sorted(self, backend):
+        for reader_id in backend.readers:
+            rows = backend.initial_rows(reader_id)
+            assert len(rows) <= FAST.kalman_max_hypotheses * 2
+            assert _weights_sorted(rows)
+
+    def test_coverage_mass_inside_vs_outside(self, backend):
+        reader_id = sorted(backend.readers)[0]
+        per_edge = backend._coverage[reader_id]
+        edge = sorted(per_edge)[0]
+        lo, hi = per_edge[edge][0]
+        center = (lo + hi) / 2.0
+        inside = (edge, center, 1.0, 1e-4, 0.0, 0.01, 1.0, False)
+        assert backend.coverage_mass(inside, reader_id) > 0.5
+        uncovered = [
+            e for e in range(backend.compiled_graph.num_edges) if e not in per_edge
+        ]
+        if uncovered:
+            outside = (uncovered[0], 0.5, 1.0, 0.01, 0.0, 0.01, 1.0, False)
+            assert backend.coverage_mass(outside, reader_id) == 0.0
+
+
+def _weights_sorted(rows):
+    weights = [r[6] for r in rows]
+    return weights == sorted(weights, reverse=True)
+
+
+class TestTransitions:
+    def test_weights_sum_to_one_at_every_junction(self, backend):
+        compiled = backend.compiled_graph
+        for node in range(compiled.num_nodes):
+            edges = compiled.adjacency[node]
+            if len(edges) == 0:
+                continue
+            arrival = int(edges[0])
+            fanout = backend.transition_weights(node, arrival)
+            assert sum(f for _, f in fanout) == pytest.approx(1.0)
+            if len(edges) > 1:
+                assert all(e != arrival for e, _ in fanout), "U-turn allowed"
+
+    def test_dead_end_turns_back(self, backend):
+        compiled = backend.compiled_graph
+        for node in range(compiled.num_nodes):
+            edges = compiled.adjacency[node]
+            if len(edges) == 1 and not compiled.node_is_room[node]:
+                fanout = backend.transition_weights(node, int(edges[0]))
+                assert fanout == [(int(edges[0]), 1.0)]
+                return
+        pytest.skip("floor plan has no non-room dead end")
+
+
+class TestPredict:
+    def test_weight_is_conserved(self, backend):
+        node, edge = _junction_and_arrival(backend)
+        length = float(backend.compiled_graph.edge_length[edge])
+        state = KalmanState.from_rows(
+            [(edge, length - 0.2, 1.0, 0.05, 0.0, 0.01, 1.0, False)]
+        )
+        filt = GraphKalmanFilter(backend, state)
+        filt.predict(1.0)
+        assert sum(_weights(filt.state())) == pytest.approx(1.0)
+
+    def test_junction_split_spreads_over_outgoing_edges(self, backend):
+        node, edge = _junction_and_arrival(backend)
+        length = float(backend.compiled_graph.edge_length[edge])
+        # Mean crosses node_b by 0.8m: the mass must fan out and no
+        # hypothesis may remain on (or return to) the arrival edge.
+        state = KalmanState.from_rows(
+            [(edge, length - 0.2, 1.0, 0.05, 0.0, 0.01, 1.0, False)]
+        )
+        filt = GraphKalmanFilter(backend, state)
+        filt.predict(1.0)
+        edges_after = {r[0] for r in filt.state().rows()}
+        expected = {e for e, _ in backend.transition_weights(node, edge)}
+        assert edges_after <= expected
+        assert len(edges_after) >= 2
+
+    def test_room_crossing_becomes_dwelling(self, backend):
+        edge = _room_door_edge(backend)
+        length = float(backend.compiled_graph.edge_length[edge])
+        state = KalmanState.from_rows(
+            [(edge, length - 0.1, 1.0, 0.05, 0.0, 0.01, 1.0, False)]
+        )
+        filt = GraphKalmanFilter(backend, state)
+        filt.predict(1.0)
+        rows = filt.state().rows()
+        dwelling = [r for r in rows if r[7]]
+        assert dwelling
+        assert dwelling[0][0] == edge
+        assert dwelling[0][1] == length  # pinned at the room end
+
+    def test_dwelling_splits_stay_and_leave(self, backend):
+        edge = _room_door_edge(backend)
+        length = float(backend.compiled_graph.edge_length[edge])
+        state = KalmanState.from_rows(
+            [(edge, length, 0.0, 0.01, 0.0, 1e-4, 1.0, True)]
+        )
+        filt = GraphKalmanFilter(backend, state)
+        filt.predict(1.0)
+        rows = filt.state().rows()
+        stay = [r for r in rows if r[7]]
+        leave = [r for r in rows if not r[7]]
+        assert stay and leave
+        assert stay[0][6] == pytest.approx(1.0 - FAST.room_exit_probability)
+        assert sum(r[6] for r in leave) == pytest.approx(
+            FAST.room_exit_probability
+        )
+        # The leaver walks back out of the room, towards node_a.
+        assert leave[0][2] < 0.0
+
+    def test_covariance_grows_without_observations(self, backend):
+        edge = _junction_and_arrival(backend)[1]
+        state = KalmanState.from_rows(
+            [(edge, 0.1, 0.0, 0.01, 0.0, 0.01, 1.0, False)]
+        )
+        filt = GraphKalmanFilter(backend, state)
+        before = filt.state().var_offset[0]
+        filt.predict(1.0)
+        assert filt.state().var_offset[0] > before
+
+
+class TestMixtureBounds:
+    def test_cap_is_enforced(self, backend, sim_world):
+        collector = sim_world.pf_engine.collector
+        for object_id in sorted(collector.observed_objects()):
+            run = backend.run(collector.history(object_id), 25)
+            assert len(run.state()) <= FAST.kalman_max_hypotheses
+
+    def test_close_hypotheses_merge(self, backend):
+        edge = _junction_and_arrival(backend)[1]
+        gap = FAST.kalman_merge_distance / 2.0
+        state = KalmanState.from_rows(
+            [
+                (edge, 1.0, 1.0, 0.01, 0.0, 0.01, 0.5, False),
+                (edge, 1.0 + gap, 1.0, 0.01, 0.0, 0.01, 0.5, False),
+            ]
+        )
+        filt = GraphKalmanFilter(backend, state)
+        merged = filt._consolidate(state.rows())
+        assert len(merged) == 1
+        assert merged[0][1] == pytest.approx(1.0 + gap / 2.0)
+        assert merged[0][6] == pytest.approx(1.0)
+
+    def test_opposite_headings_do_not_merge(self, backend):
+        edge = _junction_and_arrival(backend)[1]
+        state = KalmanState.from_rows(
+            [
+                (edge, 1.0, 1.0, 0.01, 0.0, 0.01, 0.5, False),
+                (edge, 1.0, -1.0, 0.01, 0.0, 0.01, 0.5, False),
+            ]
+        )
+        filt = GraphKalmanFilter(backend, state)
+        assert len(filt._consolidate(state.rows())) == 2
+
+    def test_negligible_weight_is_pruned(self, backend):
+        edge = _junction_and_arrival(backend)[1]
+        rows = [
+            (edge, 1.0, 1.0, 0.01, 0.0, 0.01, 1.0, False),
+            (edge, 8.0, -1.0, 0.01, 0.0, 0.01, 1e-15, False),
+        ]
+        filt = GraphKalmanFilter(backend, KalmanState.from_rows(rows))
+        assert len(filt._consolidate(rows)) == 1
+
+
+class TestObserve:
+    def test_detection_pulls_mass_into_coverage(self, backend):
+        reader_id = sorted(backend.readers)[0]
+        per_edge = backend._coverage[reader_id]
+        edge = sorted(per_edge)[0]
+        lo, hi = per_edge[edge][0]
+        center = (lo + hi) / 2.0
+        off = center + 1.5
+        state = KalmanState.from_rows(
+            [(edge, off, 0.5, 1.0, 0.0, 0.01, 1.0, False)]
+        )
+        filt = GraphKalmanFilter(backend, state)
+        filt.update(second=1, readings=(reader_id,), negative_info=False)
+        new_off = filt.state().offset[0]
+        assert abs(new_off - center) < abs(off - center)
+        assert filt.state().var_offset[0] < 1.0
+
+    def test_depletion_reseeds_from_reader(self, sim_world):
+        # weight_miss == 0 makes an impossible detection truly
+        # zero-likelihood, which must trigger the reseed path.
+        config = FAST.with_overrides(weight_miss=0.0)
+        backend = KalmanBackend(
+            sim_world.graph, sim_world.anchor_index, sim_world.readers, config
+        )
+        reader_id = sorted(backend.readers)[0]
+        per_edge = backend._coverage[reader_id]
+        uncovered = next(
+            e
+            for e in range(backend.compiled_graph.num_edges)
+            if e not in per_edge
+        )
+        state = KalmanState.from_rows(
+            [(uncovered, 0.1, 1.0, 0.0001, 0.0, 0.01, 1.0, False)]
+        )
+        filt = GraphKalmanFilter(backend, state)
+        filt.update(second=1, readings=(reader_id,), negative_info=False)
+        assert filt.state().rows() == backend.initial_rows(reader_id)
+
+    def test_silence_pushes_mass_out_of_coverage(self, backend):
+        reader_id = sorted(backend.readers)[0]
+        per_edge = backend._coverage[reader_id]
+        edge = sorted(per_edge)[0]
+        lo, hi = per_edge[edge][0]
+        center = (lo + hi) / 2.0
+        inside = (edge, center, 1.0, 0.05, 0.0, 0.01, 0.5, False)
+        uncovered = next(
+            e
+            for e in range(backend.compiled_graph.num_edges)
+            if e not in backend._silence_coverage
+        )
+        outside = (uncovered, 0.5, 1.0, 0.05, 0.0, 0.01, 0.5, False)
+        filt = GraphKalmanFilter(backend, KalmanState.from_rows([inside, outside]))
+        filt.update(second=1, readings=(), negative_info=True)
+        by_edge = {r[0]: r[6] for r in filt.state().rows()}
+        assert by_edge[uncovered] > 0.5
+        assert by_edge.get(edge, 0.0) < 0.5
+
+
+class TestPosterior:
+    def test_dwelling_mass_lands_on_room_anchor(self, backend):
+        edge = _room_door_edge(backend)
+        length = float(backend.compiled_graph.edge_length[edge])
+        state = KalmanState.from_rows(
+            [(edge, length, 0.0, 0.01, 0.0, 1e-4, 1.0, True)]
+        )
+        filt = GraphKalmanFilter(backend, state)
+        posterior = filt.posterior()
+        assert posterior == {backend.room_anchor(edge, length): 1.0}
+
+    def test_posterior_concentrates_near_the_mean(self, backend):
+        edge = _junction_and_arrival(backend)[1]
+        state = KalmanState.from_rows(
+            [(edge, 1.0, 1.0, 0.05, 0.0, 0.01, 1.0, False)]
+        )
+        filt = GraphKalmanFilter(backend, state)
+        posterior = filt.posterior()
+        assert sum(posterior.values()) == pytest.approx(1.0)
+        best = max(posterior, key=posterior.get)
+        anchors = dict(
+            (ap, off) for off, ap in backend.anchor_index.on_edge(edge)
+        )
+        assert abs(anchors[best] - 1.0) <= FAST.anchor_spacing
+
+
+class TestDeterminism:
+    def test_runs_are_bit_identical(self, backend, sim_world):
+        collector = sim_world.pf_engine.collector
+        for object_id in sorted(collector.observed_objects()):
+            history = collector.history(object_id)
+            a = backend.run(history, 25, rng=np.random.default_rng(1))
+            b = backend.run(history, 25, rng=np.random.default_rng(999))
+            assert a.state().to_state() == b.state().to_state()
+            assert a.posterior() == b.posterior()

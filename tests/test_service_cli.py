@@ -129,3 +129,41 @@ class TestServeCheckpoint:
         )
         assert code == 0
         assert "served 6 ticks" in capsys.readouterr().out
+
+
+class TestServeFilterBackends:
+    def test_kalman_backend_serves(self, world, capsys):
+        code = _serve(
+            world, "--filter", "kalman", "--range", "4,0,30,12",
+            "--quiet", "--seconds", "6",
+        )
+        assert code == 0
+        assert "served 6 ticks" in capsys.readouterr().out
+
+    def test_restore_refuses_mismatched_filter(self, world, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt.json"
+        code = _serve(
+            world, "--seconds", "5", "--quiet", "--checkpoint", str(ckpt)
+        )
+        assert code == 0
+        capsys.readouterr()
+        code = _serve(
+            world, "--restore", str(ckpt), "--filter", "kalman", "--quiet"
+        )
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "produced by filter backend 'particle'" in captured.err
+        assert "--filter particle" in captured.err
+
+    def test_restore_adopts_checkpoint_backend(self, world, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt.json"
+        code = _serve(
+            world, "--filter", "kalman", "--seconds", "5", "--quiet",
+            "--checkpoint", str(ckpt),
+        )
+        assert code == 0
+        capsys.readouterr()
+        code = _serve(world, "--restore", str(ckpt), "--quiet")
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "filter kalman" in out

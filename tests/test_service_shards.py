@@ -55,7 +55,9 @@ def _final_tables(service):
 def _final_particles(service):
     cache = service.executor.cache
     assert cache is not None
-    return cache.state_dict()
+    document = cache.state_dict()
+    assert document["backend"] == "particle"
+    return document["entries"]
 
 
 class TestPartitioning:
@@ -95,8 +97,8 @@ class TestShardDeterminism:
             particles_four = _final_particles(four)
             assert particles_one.keys() == particles_four.keys()
             for object_id in particles_one:
-                state_a = particles_one[object_id]["particles"]
-                state_b = particles_four[object_id]["particles"]
+                state_a = particles_one[object_id]["state"]
+                state_b = particles_four[object_id]["state"]
                 for fieldname in state_a:
                     assert np.array_equal(
                         np.asarray(state_a[fieldname]),
