@@ -1,0 +1,45 @@
+"""Benchmark regression gate.
+
+A small, deterministic benchmark harness behind ``repro bench``:
+
+* :func:`repro.bench.suite.run_suite` executes a fixed set of seeded
+  pipeline workloads and records, per workload, the wall-clock cost
+  *and* an integer work profile (filter runs, seconds replayed, objects
+  evaluated, ...) read from the :mod:`repro.obs` registry;
+* :func:`repro.bench.compare.compare_results` diffs two result files:
+  work counters must match **exactly** (seeded runs are deterministic,
+  so any drift is a real behavior change), while wall timings are first
+  normalized by a calibration-kernel ratio so the gate measures *this
+  code on this machine* against *that code on that machine* without
+  flaking on hardware differences.
+
+The package intentionally lives outside the invariant linter's CLK/DET
+scopes: benchmarks are the one place that legitimately reads the wall
+clock directly.
+"""
+
+from repro.bench.compare import (
+    ComparisonReport,
+    compare_results,
+    load_result,
+    render_report,
+)
+from repro.bench.suite import (
+    RESULT_FORMAT,
+    RESULT_VERSION,
+    default_result_name,
+    run_suite,
+    write_result,
+)
+
+__all__ = [
+    "ComparisonReport",
+    "RESULT_FORMAT",
+    "RESULT_VERSION",
+    "compare_results",
+    "default_result_name",
+    "load_result",
+    "render_report",
+    "run_suite",
+    "write_result",
+]

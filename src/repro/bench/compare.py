@@ -1,0 +1,221 @@
+"""The ``repro bench compare`` regression gate.
+
+Compares a candidate result file against a committed baseline:
+
+* **work counters** — compared exactly. Seeded runs are deterministic,
+  so a changed counter means the code now does different work (more
+  filter runs, fewer cache hits, ...) — a behavior change that must be
+  acknowledged by re-recording the baseline, never waved through.
+* **wall timings** — normalized first: each file's workload times are
+  divided by that file's calibration-kernel seconds, and the gate
+  compares the *ratios*. A baseline recorded on a fast laptop therefore
+  does not fail CI on a slow runner. A workload regresses when its
+  normalized time exceeds ``tolerance`` × the baseline's.
+* **digests** — bit-identity over query answers; informational by
+  default (float bit-patterns may legitimately differ across CPUs and
+  numpy builds), enforced with ``strict_digest=True``.
+
+Exit-code contract (used by CI): 0 pass, 1 regression, 2 the files are
+not comparable (different format, profile, or workload set).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping
+
+from repro.bench.suite import RESULT_FORMAT, RESULT_VERSION
+
+#: Default slowdown tolerance: candidate may take up to 1.5x the
+#: baseline's calibration-normalized time before the gate fails. Wide on
+#: purpose — the smoke workloads run for seconds, where scheduler noise
+#: is a real fraction; the exact work-counter check catches algorithmic
+#: regressions long before they show up as 50% wall time.
+DEFAULT_TOLERANCE = 1.5
+
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_INCOMPARABLE = 2
+
+
+class BenchFormatError(ValueError):
+    """The file is not a bench result document this build understands."""
+
+
+def load_result(path: str) -> Dict[str, object]:
+    """Load and validate one bench result file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or data.get("format") != RESULT_FORMAT:
+        raise BenchFormatError(
+            f"{path}: not a {RESULT_FORMAT} document"
+        )
+    if int(str(data.get("version", 0))) > RESULT_VERSION:
+        raise BenchFormatError(
+            f"{path}: result version {data.get('version')} is newer than "
+            f"this build understands ({RESULT_VERSION}); update the code "
+            "or re-record with this build"
+        )
+    return data
+
+
+@dataclass
+class WorkloadComparison:
+    """The gate's verdict on one workload."""
+
+    name: str
+    baseline_seconds: float
+    candidate_seconds: float
+    normalized_ratio: float
+    timing_ok: bool
+    work_ok: bool
+    digest_match: bool
+    work_diffs: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ComparisonReport:
+    """The full gate verdict: per-workload rows plus the exit code."""
+
+    tolerance: float
+    strict_digest: bool
+    rows: List[WorkloadComparison] = field(default_factory=list)
+    problems: List[str] = field(default_factory=list)
+    incomparable: bool = False
+
+    @property
+    def passed(self) -> bool:
+        return not self.incomparable and not self.problems
+
+    @property
+    def exit_code(self) -> int:
+        if self.incomparable:
+            return EXIT_INCOMPARABLE
+        return EXIT_OK if self.passed else EXIT_REGRESSION
+
+
+def _workloads(result: Mapping[str, object]) -> Dict[str, Dict[str, object]]:
+    workloads = result.get("workloads")
+    if not isinstance(workloads, dict):
+        raise BenchFormatError("result document has no 'workloads' mapping")
+    return workloads
+
+
+def compare_results(
+    baseline: Mapping[str, object],
+    candidate: Mapping[str, object],
+    tolerance: float = DEFAULT_TOLERANCE,
+    strict_digest: bool = False,
+) -> ComparisonReport:
+    """Gate ``candidate`` against ``baseline``; see the module docstring."""
+    if tolerance <= 0:
+        raise ValueError("tolerance must be positive")
+    report = ComparisonReport(tolerance=tolerance, strict_digest=strict_digest)
+
+    for key in ("profile", "seed"):
+        if baseline.get(key) != candidate.get(key):
+            report.problems.append(
+                f"{key} mismatch: baseline={baseline.get(key)!r} "
+                f"candidate={candidate.get(key)!r}"
+            )
+            report.incomparable = True
+    base_workloads = _workloads(baseline)
+    cand_workloads = _workloads(candidate)
+    if set(base_workloads) != set(cand_workloads):
+        only_base = sorted(set(base_workloads) - set(cand_workloads))
+        only_cand = sorted(set(cand_workloads) - set(base_workloads))
+        report.problems.append(
+            f"workload sets differ (baseline-only={only_base}, "
+            f"candidate-only={only_cand}); re-record the baseline"
+        )
+        report.incomparable = True
+    if report.incomparable:
+        return report
+
+    base_calibration = float(str(baseline.get("calibration_seconds", 0.0)))
+    cand_calibration = float(str(candidate.get("calibration_seconds", 0.0)))
+    if base_calibration <= 0 or cand_calibration <= 0:
+        report.problems.append("calibration_seconds missing or non-positive")
+        report.incomparable = True
+        return report
+
+    for name in sorted(base_workloads):
+        base = base_workloads[name]
+        cand = cand_workloads[name]
+        base_seconds = float(str(base.get("wall_seconds", 0.0)))
+        cand_seconds = float(str(cand.get("wall_seconds", 0.0)))
+        base_norm = base_seconds / base_calibration
+        cand_norm = cand_seconds / cand_calibration
+        ratio = cand_norm / base_norm if base_norm > 0 else float("inf")
+        timing_ok = ratio <= tolerance
+
+        base_work = base.get("work") or {}
+        cand_work = cand.get("work") or {}
+        work_diffs: List[str] = []
+        if not isinstance(base_work, dict) or not isinstance(cand_work, dict):
+            work_diffs.append("work profile missing")
+        else:
+            for counter in sorted(set(base_work) | set(cand_work)):
+                base_value = base_work.get(counter)
+                cand_value = cand_work.get(counter)
+                if base_value != cand_value:
+                    work_diffs.append(
+                        f"{counter}: baseline={base_value} candidate={cand_value}"
+                    )
+        work_ok = not work_diffs
+        digest_match = base.get("digest") == cand.get("digest")
+
+        row = WorkloadComparison(
+            name=name,
+            baseline_seconds=base_seconds,
+            candidate_seconds=cand_seconds,
+            normalized_ratio=ratio,
+            timing_ok=timing_ok,
+            work_ok=work_ok,
+            digest_match=digest_match,
+            work_diffs=work_diffs,
+        )
+        report.rows.append(row)
+        if not timing_ok:
+            report.problems.append(
+                f"{name}: {ratio:.2f}x normalized slowdown exceeds "
+                f"tolerance {tolerance:.2f}x"
+            )
+        if not work_ok:
+            report.problems.append(
+                f"{name}: work profile changed ({'; '.join(work_diffs)})"
+            )
+        if strict_digest and not digest_match:
+            report.problems.append(
+                f"{name}: answer digest changed "
+                f"({base.get('digest')} -> {cand.get('digest')})"
+            )
+    return report
+
+
+def render_report(report: ComparisonReport) -> str:
+    """Human-readable gate verdict (what CI prints)."""
+    lines: List[str] = []
+    lines.append(
+        f"bench gate: tolerance {report.tolerance:.2f}x"
+        + (", strict digests" if report.strict_digest else "")
+    )
+    for row in report.rows:
+        status = "ok" if (row.timing_ok and row.work_ok) else "FAIL"
+        digest_note = "match" if row.digest_match else "differ"
+        lines.append(
+            f"  {row.name:<16} {status:<4} "
+            f"ratio={row.normalized_ratio:.2f}x "
+            f"({row.baseline_seconds:.3f}s -> {row.candidate_seconds:.3f}s), "
+            f"work={'exact' if row.work_ok else 'CHANGED'}, "
+            f"digests {digest_note}"
+        )
+        for diff in row.work_diffs:
+            lines.append(f"      {diff}")
+    if report.problems:
+        lines.append("problems:")
+        for problem in report.problems:
+            lines.append(f"  - {problem}")
+    lines.append("verdict: " + ("PASS" if report.passed else "FAIL"))
+    return "\n".join(lines)

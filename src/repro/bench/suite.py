@@ -1,0 +1,312 @@
+"""The ``repro bench run`` workload suite.
+
+Each workload is a seeded end-to-end slice of the pipeline. Running one
+produces three kinds of evidence:
+
+* ``wall_seconds`` — elapsed wall clock, for the tolerance-gated timing
+  comparison (always normalized by the calibration kernel first);
+* ``work`` — a fixed set of **integer** counters read from the
+  :mod:`repro.obs` registry after the run. Seeded runs are
+  bit-deterministic, so these are compared exactly by the gate: any
+  drift means the code does different work, not that the machine was
+  slow;
+* ``digest`` — a SHA-256 over the canonical query answers (rounded to
+  nine decimals), for optional strict bit-identity checks on a single
+  platform.
+
+Two profiles: ``smoke`` (seconds, runs in CI on every push) and ``full``
+(minutes, for local before/after measurements).
+"""
+
+from __future__ import annotations
+
+import datetime as _datetime
+import hashlib
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Tuple
+
+import numpy as np
+
+import repro.obs as obs
+from repro import __version__
+from repro.config import DEFAULT_CONFIG, SimulationConfig
+
+RESULT_FORMAT = "repro-bench-result"
+RESULT_VERSION = 1
+
+PROFILES = ("smoke", "full")
+
+
+@dataclass(frozen=True)
+class WorkloadResult:
+    """One workload's evidence: timing, integer work profile, digest."""
+
+    name: str
+    wall_seconds: float
+    work: Dict[str, int]
+    digest: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "wall_seconds": self.wall_seconds,
+            "work": dict(sorted(self.work.items())),
+            "digest": self.digest,
+        }
+
+
+def _profile_config(profile: str, seed: int) -> SimulationConfig:
+    if profile == "full":
+        return DEFAULT_CONFIG.with_overrides(
+            seed=seed, num_objects=60, observability=False
+        )
+    return DEFAULT_CONFIG.with_overrides(
+        seed=seed, num_objects=16, observability=False
+    )
+
+
+def _digest(payload: object) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return "sha256:" + hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _counter_work(names: Tuple[str, ...]) -> Dict[str, int]:
+    """Read the named counter families (label-summed) as exact integers."""
+    registry = obs.registry()
+    return {name: int(registry.counter_total(name)) for name in names}
+
+
+# ----------------------------------------------------------------------
+# calibration
+# ----------------------------------------------------------------------
+def calibration_kernel_seconds(repeats: int = 3) -> float:
+    """Time a fixed numpy kernel; the cross-machine speed yardstick.
+
+    The gate divides each workload's wall time by this number before
+    comparing against the baseline, so a baseline recorded on a fast
+    machine does not fail the gate on a slow one (and vice versa). The
+    kernel mixes the operations the pipeline leans on: dense arithmetic,
+    cumulative sums, sorting, and searchsorted.
+    """
+    rng = np.random.default_rng(12345)
+    weights = rng.random(200_000)
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        w = weights.copy()
+        for _ in range(20):
+            w = w * 1.000001 + 0.5
+            c = np.cumsum(w)
+            c /= c[-1]
+            positions = (np.arange(w.size) + 0.5) / w.size
+            idx = np.searchsorted(c, positions)
+            w = np.sort(w[np.clip(idx, 0, w.size - 1)])
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# ----------------------------------------------------------------------
+# workloads
+# ----------------------------------------------------------------------
+def _bench_filter_replay(profile: str, seed: int) -> WorkloadResult:
+    """Batch pipeline: simulate, ingest, filter, answer queries."""
+    from repro.queries.types import KNNQuery, RangeQuery
+    from repro.sim import Simulation
+
+    config = _profile_config(profile, seed)
+    seconds = 60 if profile == "full" else 25
+    eval_points = (30, 45, 60) if profile == "full" else (15, 25)
+
+    sim = Simulation(config, build_symbolic=False)
+    answers: List[Tuple[str, str, float]] = []
+    obs.enable(fresh=True)
+    try:
+        start = time.perf_counter()
+        for timestamp in eval_points:
+            sim.run_until(timestamp)
+            windows = sim.random_windows(3)
+            points = sim.random_query_points(2)
+            sim.pf_engine.clear_queries()
+            for i, window in enumerate(windows):
+                sim.pf_engine.register_range_query(RangeQuery(f"r{i}", window))
+            for i, point in enumerate(points):
+                sim.pf_engine.register_knn_query(KNNQuery(f"k{i}", point, 3))
+            snapshot = sim.pf_engine.evaluate(timestamp, rng=sim.pf_rng)
+            for result in snapshot.range_results.values():
+                for obj, p in sorted(result.probabilities.items()):
+                    answers.append((result.query_id, obj, round(p, 9)))
+            for result in snapshot.knn_results.values():
+                for obj, p in sorted(result.probabilities.items()):
+                    answers.append((result.query_id, obj, round(p, 9)))
+        elapsed = time.perf_counter() - start
+        work = _counter_work(
+            (
+                "filter.runs",
+                "filter.seconds_replayed",
+                "filter.observations",
+                "engine.rounds",
+                "engine.objects_evaluated",
+            )
+        )
+    finally:
+        obs.disable()
+    work["answers"] = len(answers)
+    work["sim_seconds"] = seconds if profile == "full" else eval_points[-1]
+    return WorkloadResult(
+        name="filter_replay",
+        wall_seconds=elapsed,
+        work=work,
+        digest=_digest(answers),
+    )
+
+
+def _bench_service_replay(profile: str, seed: int) -> WorkloadResult:
+    """Online service: sharded thread-mode replay of a recorded log."""
+    from repro.geometry import Point, Rect
+    from repro.service import ReplaySource, TrackingService
+    from repro.sim import Simulation
+
+    config = _profile_config(profile, seed)
+    seconds = 40 if profile == "full" else 15
+
+    sim = Simulation(config, build_symbolic=False)
+    readings = []
+    for _ in range(seconds):
+        readings.extend(sim.step())
+
+    obs.enable(fresh=True)
+    deltas = 0
+    try:
+        service = TrackingService(config, num_shards=2, mode="thread", seed=seed)
+        try:
+            service.sessions.subscribe_range(Rect(4, 0, 30, 12), session_id="r0")
+            service.sessions.subscribe_knn(Point(30, 5), 3, session_id="k0")
+            start = time.perf_counter()
+            for batch in ReplaySource(readings).batches():
+                deltas += len(service.process_batch(batch))
+            elapsed = time.perf_counter() - start
+            tracked = len(service.snapshot().table.objects())
+            rows: List[Tuple[str, int, float]] = []
+            table = service.snapshot().table
+            for obj in sorted(table.objects()):
+                for anchor, p in sorted(table.distribution_of(obj).items()):
+                    rows.append((obj, anchor, round(p, 9)))
+        finally:
+            service.close()
+        work = _counter_work(
+            ("filter.runs", "filter.backend_runs", "service.shard_objects_filtered")
+        )
+    finally:
+        obs.disable()
+    work["ticks"] = seconds
+    work["deltas"] = deltas
+    work["tracked"] = tracked
+    return WorkloadResult(
+        name="service_replay",
+        wall_seconds=elapsed,
+        work=work,
+        digest=_digest(rows),
+    )
+
+
+def _bench_query_eval(profile: str, seed: int) -> WorkloadResult:
+    """Query evaluation over a fixed filtered table (read-path cost)."""
+    from repro.queries.types import KNNQuery, RangeQuery
+    from repro.sim import Simulation
+
+    config = _profile_config(profile, seed)
+    horizon = 30 if profile == "full" else 12
+    rounds = 20 if profile == "full" else 6
+
+    sim = Simulation(config, build_symbolic=False)
+    sim.run_until(horizon)
+    windows = sim.random_windows(4)
+    points = sim.random_query_points(3)
+
+    obs.enable(fresh=True)
+    try:
+        sim.pf_engine.clear_queries()
+        for i, window in enumerate(windows):
+            sim.pf_engine.register_range_query(RangeQuery(f"r{i}", window))
+        for i, point in enumerate(points):
+            sim.pf_engine.register_knn_query(KNNQuery(f"k{i}", point, 3))
+        matched = 0
+        start = time.perf_counter()
+        for _ in range(rounds):
+            snapshot = sim.pf_engine.evaluate(horizon, rng=sim.pf_rng)
+            for result in snapshot.range_results.values():
+                matched += len(result.objects())
+            for result in snapshot.knn_results.values():
+                matched += len(result.probabilities)
+        elapsed = time.perf_counter() - start
+        work = _counter_work(("engine.rounds", "engine.queries"))
+    finally:
+        obs.disable()
+    work["matched"] = matched
+    work["rounds"] = rounds
+    return WorkloadResult(
+        name="query_eval",
+        wall_seconds=elapsed,
+        work=work,
+        digest=_digest(matched),
+    )
+
+
+_WORKLOADS: Tuple[Tuple[str, Callable[[str, int], WorkloadResult]], ...] = (
+    ("filter_replay", _bench_filter_replay),
+    ("service_replay", _bench_service_replay),
+    ("query_eval", _bench_query_eval),
+)
+
+
+# ----------------------------------------------------------------------
+# suite driver
+# ----------------------------------------------------------------------
+def run_suite(profile: str = "smoke", seed: int = 7) -> Dict[str, object]:
+    """Run every workload and return the result document."""
+    if profile not in PROFILES:
+        raise ValueError(f"profile must be one of {PROFILES}, got {profile!r}")
+    was_enabled = obs.enabled()
+    calibration = calibration_kernel_seconds()
+    results: List[WorkloadResult] = []
+    for _name, fn in _WORKLOADS:
+        results.append(fn(profile, seed))
+    if was_enabled:
+        # run_suite toggles the global registry per workload; restore the
+        # caller's observability session rather than leaving it off.
+        obs.enable(fresh=False)
+    return {
+        "format": RESULT_FORMAT,
+        "version": RESULT_VERSION,
+        "repro_version": __version__,
+        "profile": profile,
+        "seed": seed,
+        "created": _datetime.datetime.now(_datetime.timezone.utc).isoformat(),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "calibration_seconds": calibration,
+        "workloads": {r.name: r.as_dict() for r in results},
+    }
+
+
+def default_result_name(when: _datetime.date | None = None) -> str:
+    """The versioned artifact name: ``BENCH_YYYY-MM-DD.json``."""
+    day = when if when is not None else _datetime.date.today()
+    return f"BENCH_{day.isoformat()}.json"
+
+
+def write_result(result: Mapping[str, object], path: str) -> str:
+    """Write a result document as stable, diff-friendly JSON."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands::
+Eight subcommands::
 
     repro simulate    run the simulator; export the floor plan, reader
                       deployment, and raw reading log
@@ -8,9 +8,15 @@ Seven subcommands::
     repro experiment  regenerate one of the paper's figures (9-13)
     repro serve       run the online tracking service over a replayed log
                       (or live simulation): sharded filtering, standing
-                      queries, checkpoint/restore
+                      queries, checkpoint/restore; ``--metrics-port``
+                      serves /metrics + /healthz, ``--events`` writes the
+                      per-epoch event log
     repro demo        a 60-second end-to-end demo with live queries
     repro stats       render the summary table of a --trace output file
+                      (``--prom`` for Prometheus text, ``--chrome-trace``
+                      for a Perfetto-loadable span timeline)
+    repro bench       run the deterministic benchmark suite and gate a
+                      result file against a committed baseline
     repro lint        static-check the repo's determinism, clock, and
                       thread-safety invariants (repro.analysis)
 
@@ -195,6 +201,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="JSON",
         help="enable observability and write metrics + spans here",
     )
+    serve.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help=(
+            "serve /metrics (Prometheus), /healthz and /readyz on this "
+            "port (0 = pick a free port); implies observability"
+        ),
+    )
+    serve.add_argument(
+        "--metrics-host", default="127.0.0.1", metavar="HOST",
+        help="bind address for --metrics-port (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--events", metavar="JSONL",
+        help=(
+            "write one structured event record per epoch tick here "
+            "(phase timings, per-shard wall time, queue pressure, "
+            "accuracy proxies); implies observability"
+        ),
+    )
     _add_filter_option(serve, default=None)
 
     subparsers.add_parser("demo", help="run a quick end-to-end demo")
@@ -205,6 +230,55 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("trace", metavar="JSON", help="trace file to summarize")
     stats.add_argument(
         "--out-csv", metavar="CSV", help="also export flattened metric rows"
+    )
+    stats.add_argument(
+        "--prom", action="store_true",
+        help="print the metrics in Prometheus text format instead",
+    )
+    stats.add_argument(
+        "--chrome-trace", metavar="JSON", dest="chrome_trace",
+        help="export the spans as Chrome trace-event JSON (Perfetto)",
+    )
+
+    bench = subparsers.add_parser(
+        "bench", help="deterministic benchmark suite + regression gate"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_run = bench_sub.add_parser(
+        "run", help="run the workload suite and write a result file"
+    )
+    scale = bench_run.add_mutually_exclusive_group()
+    scale.add_argument(
+        "--smoke", dest="profile", action="store_const", const="smoke",
+        help="seconds-scale workloads (default; what CI runs)",
+    )
+    scale.add_argument(
+        "--full", dest="profile", action="store_const", const="full",
+        help="minutes-scale workloads for local before/after runs",
+    )
+    bench_run.set_defaults(profile="smoke")
+    bench_run.add_argument("--seed", type=int, default=7)
+    bench_run.add_argument(
+        "--out", metavar="JSON", default=None,
+        help="result path (default: benchmarks/BENCH_<date>.json)",
+    )
+    bench_compare = bench_sub.add_parser(
+        "compare", help="gate a candidate result against a baseline"
+    )
+    bench_compare.add_argument(
+        "candidate", metavar="JSON", help="candidate result file"
+    )
+    bench_compare.add_argument(
+        "--baseline", metavar="JSON", required=True,
+        help="committed baseline result file",
+    )
+    bench_compare.add_argument(
+        "--tolerance", type=float, default=None, metavar="X",
+        help="max calibration-normalized slowdown factor (default: 1.5)",
+    )
+    bench_compare.add_argument(
+        "--strict-digest", action="store_true",
+        help="also fail when answer digests differ (same-platform only)",
     )
 
     lint = subparsers.add_parser(
@@ -250,6 +324,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _cmd_serve,
         "demo": _cmd_demo,
         "stats": _cmd_stats,
+        "bench": _cmd_bench,
         "lint": _cmd_lint,
     }[args.command]
     return handler(args)
@@ -390,11 +465,68 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.obs.report import load_trace, render_summary, write_csv
 
     data = load_trace(args.trace)
-    print(render_summary(data))
+    if args.prom:
+        from repro.obs.expo import render_prometheus
+
+        print(render_prometheus(data), end="")
+    else:
+        print(render_summary(data))
     if args.out_csv:
         write_csv(data, args.out_csv)
         print(f"rows -> {args.out_csv}")
+    if args.chrome_trace:
+        from repro.obs.chrometrace import write_chrome_trace
+
+        write_chrome_trace(data, args.chrome_trace)
+        print(f"chrome trace -> {args.chrome_trace}")
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        compare_results,
+        default_result_name,
+        load_result,
+        render_report,
+        run_suite,
+        write_result,
+    )
+    from repro.bench.compare import (
+        DEFAULT_TOLERANCE,
+        EXIT_INCOMPARABLE,
+        BenchFormatError,
+    )
+
+    if args.bench_command == "run":
+        result = run_suite(profile=args.profile, seed=args.seed)
+        out = args.out or os.path.join("benchmarks", default_result_name())
+        write_result(result, out)
+        total = sum(
+            w["wall_seconds"] for w in result["workloads"].values()
+        )
+        print(
+            f"bench {args.profile}: {len(result['workloads'])} workloads, "
+            f"{total:.2f}s measured, calibration "
+            f"{result['calibration_seconds'] * 1000:.1f}ms"
+        )
+        print(f"result -> {out}")
+        return 0
+
+    try:
+        baseline = load_result(args.baseline)
+        candidate = load_result(args.candidate)
+    except (OSError, ValueError, BenchFormatError) as exc:
+        print(f"repro: bench error: {exc}", file=sys.stderr)
+        return EXIT_INCOMPARABLE
+    tolerance = args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+    report = compare_results(
+        baseline,
+        candidate,
+        tolerance=tolerance,
+        strict_digest=args.strict_digest,
+    )
+    print(render_report(report))
+    return report.exit_code
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -510,6 +642,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
 
     tracing = _start_trace(args)
+    # --metrics-port and --events both need the registry recording; turn
+    # observability on for the run even without --trace. Neither touches
+    # the RNG streams, so replay output stays bit-identical either way.
+    obs_session = tracing
+    if (args.metrics_port is not None or args.events) and not obs.enabled():
+        obs.enable()
+        obs_session = True
     plan = load_floorplan(args.plan) if args.plan else None
     readers = load_deployment(args.deployment) if args.deployment else None
     tags = None
@@ -594,13 +733,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     queue = BoundedQueue(maxsize=args.queue_size)
     feeder = SourceFeeder(source, queue)
+
+    event_writer = None
+    event_recorder = None
+    if args.events:
+        from repro.obs.events import EpochEventRecorder, EpochEventWriter
+
+        event_writer = EpochEventWriter(args.events)
+        event_recorder = EpochEventRecorder(event_writer, obs.registry())
+
     scheduler = EpochScheduler(
         service,
         queue,
         tick_interval=(1.0 / args.tick_rate) if args.tick_rate > 0 else 0.0,
         checkpoint_path=args.checkpoint,
         checkpoint_interval=args.checkpoint_interval,
+        event_recorder=event_recorder,
     )
+
+    metrics_server = None
+    if args.metrics_port is not None:
+        from repro.obs.expo import MetricsServer
+
+        metrics_server = MetricsServer(
+            snapshot_provider=obs.snapshot,
+            health_provider=scheduler.health,
+            ready_provider=scheduler.ready,
+            host=args.metrics_host,
+            port=args.metrics_port,
+        )
+        bound = metrics_server.start()
+        print(f"metrics on http://{args.metrics_host}:{bound}/metrics")
+
     feeder.start()
     try:
         ticks = scheduler.run()
@@ -608,6 +772,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue.close()
         feeder.join(timeout=10.0)
         service.close()
+        if metrics_server is not None:
+            metrics_server.stop()
+        if event_writer is not None:
+            event_writer.close()
+    if event_writer is not None:
+        print(
+            f"event log -> {args.events} "
+            f"({event_writer.records_written} epoch records)"
+        )
     if feeder.error is not None:
         print(f"repro: ingest error: {feeder.error}", file=sys.stderr)
         return 1
@@ -633,6 +806,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 "filter": service.executor.filter_backend.name,
             },
         )
+    elif obs_session:
+        obs.disable()
     return 0
 
 

@@ -155,6 +155,7 @@ class ParticleFilter:
                 return
             particles.normalize_weights()
         ess = 1.0 / float(np.sum(particles.weight ** 2))
+        obs.observe("filter.ess", ess)
         if ess < len(particles) / 2.0:
             with obs.timer("filter.resample"):
                 indices = self.resampler(particles.weight, len(particles), rng)
@@ -193,6 +194,13 @@ class ParticleFilter:
             return
         with obs.timer("filter.normalize"):
             particles.normalize_weights()
+        if obs.enabled():
+            # Effective sample size before resampling: the paper's proxy
+            # for weight degeneracy, exported per observation so the
+            # epoch event log can trend accuracy drift.
+            obs.observe(
+                "filter.ess", 1.0 / float(np.sum(particles.weight ** 2))
+            )
         with obs.timer("filter.resample"):
             indices = self.resampler(particles.weight, len(particles), rng)
             self._replace(particles, particles.select(indices))

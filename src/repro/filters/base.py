@@ -220,7 +220,7 @@ class FilterBackend(ABC):
                 filt = self.new_filter(history, generator)
                 t_state = history.first_second
             obs.add("filter.runs")
-            obs.add(f"filter.{self.name}.runs")
+            obs.add("filter.backend_runs", labels={"backend": self.name})
             obs.add("filter.seconds_replayed", max(t_end - t_state, 0))
 
             negative = self.config.use_negative_information

@@ -377,10 +377,23 @@ class GraphKalmanFilter(BayesFilter):
         kept.sort(key=lambda r: (-r[6], r[0], r[1], r[2]))
         kept = kept[: self._backend.config.kalman_max_hypotheses]
         total = sum(r[6] for r in kept)
-        return [
+        out = [
             (r[0], r[1], r[2], r[3], r[4], r[5], r[6] / total, r[7])
             for r in kept
         ]
+        if obs.enabled():
+            # Mixture health proxies for the epoch event log: how many
+            # hypotheses each consolidation discards, and the entropy of
+            # the surviving mixture (0 = collapsed to one hypothesis).
+            obs.add(
+                "filter.kalman.pruned_hypotheses", len(merged) - len(out)
+            )
+            entropy = -sum(
+                r[6] * math.log(r[6]) for r in out if r[6] > 0.0
+            )
+            obs.observe("filter.kalman.entropy", entropy)
+            obs.observe("filter.kalman.hypotheses", float(len(out)))
+        return out
 
     @staticmethod
     def _moment_match(a: Row, b: Row) -> Row:

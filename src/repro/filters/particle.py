@@ -135,7 +135,7 @@ class ParticleBackend(FilterBackend):
         contract-driven replay produces the identical particle set.
         """
         generator = make_rng(rng)
-        obs.add(f"filter.{self.name}.runs")
+        obs.add("filter.backend_runs", labels={"backend": self.name})
         result = self.filter.run(
             history,
             current_second,

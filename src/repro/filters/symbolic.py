@@ -218,7 +218,7 @@ class SymbolicBackend(FilterBackend):
             )
         with obs.span("filter.run", object=history.object_id, backend=self.name):
             obs.add("filter.runs")
-            obs.add(f"filter.{self.name}.runs")
+            obs.add("filter.backend_runs", labels={"backend": self.name})
             filt = SymbolicBayesFilter(
                 self, SymbolicState.from_history(history, int(current_second))
             )

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import functools
 import time
-from typing import Callable, Dict, Optional, TypeVar, Union, cast
+from typing import Callable, Dict, Mapping, Optional, TypeVar, Union, cast
 
 from repro.obs.registry import (
     Counter,
@@ -62,11 +62,13 @@ __all__ = [
     "disable",
     "enable",
     "enabled",
+    "export_chrome_trace",
     "export_csv",
     "export_json",
     "gauge_set",
     "observe",
     "registry",
+    "render_prometheus",
     "render_summary",
     "reset",
     "set_clock",
@@ -154,28 +156,31 @@ def tracer() -> Tracer:
 # ----------------------------------------------------------------------
 # recording shortcuts (all no-ops while disabled)
 # ----------------------------------------------------------------------
-def add(name: str, amount: int = 1) -> None:
-    """Increment a counter."""
+Labels = Optional[Mapping[str, object]]
+
+
+def add(name: str, amount: int = 1, labels: Labels = None) -> None:
+    """Increment a counter (one series per distinct label set)."""
     if _enabled:
-        _registry.counter(name).inc(amount)
+        _registry.counter(name, labels).inc(amount)
 
 
-def gauge_set(name: str, value: float) -> None:
+def gauge_set(name: str, value: float, labels: Labels = None) -> None:
     """Set a gauge."""
     if _enabled:
-        _registry.gauge(name).set(value)
+        _registry.gauge(name, labels).set(value)
 
 
-def observe(name: str, value: float) -> None:
+def observe(name: str, value: float, labels: Labels = None) -> None:
     """Record one histogram sample."""
     if _enabled:
-        _registry.histogram(name).observe(value)
+        _registry.histogram(name, labels).observe(value)
 
 
-def timer(name: str) -> Union[Timer, _NoopContext]:
-    """A ``with``-able timer feeding the same-named histogram."""
+def timer(name: str, labels: Labels = None) -> Union[Timer, _NoopContext]:
+    """A ``with``-able timer feeding the same-named histogram series."""
     if _enabled:
-        return _registry.timer(name)
+        return _registry.timer(name, labels)
     return _NOOP
 
 
@@ -243,3 +248,17 @@ def render_summary(data: Optional[Dict[str, object]] = None) -> str:
     from repro.obs.report import render_summary as _render
 
     return _render(data if data is not None else snapshot())
+
+
+def render_prometheus(data: Optional[Dict[str, object]] = None) -> str:
+    """Prometheus text exposition of a snapshot (default: the live one)."""
+    from repro.obs.expo import render_prometheus as _render
+
+    return _render(data if data is not None else snapshot())
+
+
+def export_chrome_trace(path: str) -> None:
+    """Write the live trace as Chrome trace-event JSON (Perfetto-loadable)."""
+    from repro.obs.chrometrace import write_chrome_trace
+
+    write_chrome_trace(snapshot(), path)

@@ -1,0 +1,241 @@
+"""Structured epoch event log: one JSONL record per service tick.
+
+While ``repro serve`` runs, the epoch scheduler can append one JSON line
+per processed epoch describing *that epoch's* cost and accuracy-drift
+profile — not cumulative totals. The recorder snapshots the metrics
+registry each tick and emits deltas, so a record answers "what did tick
+N cost and how healthy was the belief state" directly:
+
+* wall time of the whole tick plus per-phase breakdown (predict /
+  weight / normalize / resample / the sharded filter step);
+* per-shard filter seconds (from the ``service.shard_time`` series,
+  one per ``shard`` label);
+* queue depth and backpressure stalls, cache hits/misses and hit ratio;
+* accuracy-drift proxies: mean particle effective sample size, mean
+  Kalman mixture entropy, Kalman hypotheses pruned, depletion reseeds.
+
+The file starts with a header line (``format``/``version``) followed by
+one record per epoch. Everything is derived from already-recorded
+instruments — the log never touches an RNG, so enabling it cannot
+perturb replay results (covered by the serve determinism test).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Dict, IO, List, Mapping, Optional, Tuple
+
+from repro.obs.registry import MetricsRegistry
+
+EVENTS_FORMAT = "repro-epoch-events"
+EVENTS_VERSION = 1
+
+#: Histogram families reported as per-epoch phase seconds.
+PHASE_FAMILIES: Tuple[str, ...] = (
+    "filter.predict",
+    "filter.weight",
+    "filter.normalize",
+    "filter.resample",
+    "service.filter_tick",
+)
+
+_SeriesKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _series_key(item: Mapping[str, object]) -> _SeriesKey:
+    labels = item.get("labels")
+    if isinstance(labels, dict):
+        frozen = tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+    else:
+        frozen = ()
+    return (str(item["name"]), frozen)
+
+
+def _display(key: _SeriesKey) -> str:
+    name, labels = key
+    if not labels:
+        return name
+    rendered = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{rendered}}}"
+
+
+class EpochEventWriter:
+    """Append-only JSONL sink with a format header and a write lock."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        self._handle: Optional[IO[str]] = open(path, "w", encoding="utf-8")
+        self._write_line(
+            {"format": EVENTS_FORMAT, "version": EVENTS_VERSION}
+        )
+        self.records_written = 0
+
+    def _write_line(self, record: Mapping[str, object]) -> None:
+        handle = self._handle
+        if handle is None:
+            raise ValueError(f"event log {self.path} is closed")
+        handle.write(json.dumps(record, sort_keys=True))
+        handle.write("\n")
+        handle.flush()
+
+    def write(self, record: Mapping[str, object]) -> None:
+        """Append one epoch record (thread-safe)."""
+        with self._lock:
+            self._write_line(record)
+            self.records_written += 1
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "EpochEventWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_events(path: str) -> Tuple[Dict[str, object], List[Dict[str, object]]]:
+    """Load an event log; returns ``(header, records)`` after validation."""
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = [line for line in handle if line.strip()]
+    if not lines:
+        raise ValueError(f"{path}: empty event log")
+    header = json.loads(lines[0])
+    if not isinstance(header, dict) or header.get("format") != EVENTS_FORMAT:
+        raise ValueError(
+            f"{path} is not a {EVENTS_FORMAT} file (bad header line)"
+        )
+    records = [json.loads(line) for line in lines[1:]]
+    return header, records
+
+
+class EpochEventRecorder:
+    """Turns registry state into per-epoch delta records.
+
+    The recorder keeps the previous tick's counter values and histogram
+    ``(count, total)`` pairs per series; :meth:`record_epoch` diffs the
+    live registry against them, writes one record, and rolls the
+    baseline forward.
+    """
+
+    def __init__(
+        self, writer: EpochEventWriter, registry: MetricsRegistry
+    ) -> None:
+        self.writer = writer
+        self.registry = registry
+        self._prev_counters: Dict[_SeriesKey, int] = {}
+        self._prev_histograms: Dict[_SeriesKey, Tuple[int, float]] = {}
+
+    # ------------------------------------------------------------------
+    def _diff(
+        self, snapshot: Mapping[str, List[Dict[str, object]]]
+    ) -> Tuple[Dict[_SeriesKey, int], Dict[_SeriesKey, Tuple[int, float]]]:
+        counter_deltas: Dict[_SeriesKey, int] = {}
+        for item in snapshot.get("counters", []):
+            key = _series_key(item)
+            value = int(item.get("value") or 0)
+            delta = value - self._prev_counters.get(key, 0)
+            self._prev_counters[key] = value
+            if delta:
+                counter_deltas[key] = delta
+        histogram_deltas: Dict[_SeriesKey, Tuple[int, float]] = {}
+        for item in snapshot.get("histograms", []):
+            key = _series_key(item)
+            count = int(item.get("count") or 0)
+            total = float(item.get("total") or 0.0)
+            prev_count, prev_total = self._prev_histograms.get(key, (0, 0.0))
+            self._prev_histograms[key] = (count, total)
+            if count != prev_count or total != prev_total:
+                histogram_deltas[key] = (count - prev_count, total - prev_total)
+        return counter_deltas, histogram_deltas
+
+    @staticmethod
+    def _family_mean(
+        deltas: Mapping[_SeriesKey, Tuple[int, float]], family: str
+    ) -> Optional[float]:
+        count = sum(d[0] for key, d in deltas.items() if key[0] == family)
+        total = sum(d[1] for key, d in deltas.items() if key[0] == family)
+        return total / count if count else None
+
+    @staticmethod
+    def _family_counter(
+        deltas: Mapping[_SeriesKey, int], family: str
+    ) -> int:
+        return sum(d for key, d in deltas.items() if key[0] == family)
+
+    # ------------------------------------------------------------------
+    def record_epoch(
+        self, second: int, tick: int, wall_seconds: float
+    ) -> Dict[str, object]:
+        """Write (and return) the record for the tick that just finished."""
+        snapshot = self.registry.snapshot()
+        counter_deltas, histogram_deltas = self._diff(snapshot)
+
+        phases = {
+            family: round(
+                sum(
+                    d[1]
+                    for key, d in histogram_deltas.items()
+                    if key[0] == family
+                ),
+                9,
+            )
+            for family in PHASE_FAMILIES
+            if any(key[0] == family for key in histogram_deltas)
+        }
+        shards = {
+            dict(key[1]).get("shard", "?"): round(d[1], 9)
+            for key, d in sorted(histogram_deltas.items())
+            if key[0] == "service.shard_time"
+        }
+
+        gauges = {
+            _series_key(item): item.get("value")
+            for item in snapshot.get("gauges", [])
+        }
+        hits = self._family_counter(counter_deltas, "cache.hits")
+        misses = self._family_counter(counter_deltas, "cache.misses")
+        lookups = hits + misses
+
+        record: Dict[str, object] = {
+            "tick": tick,
+            "second": second,
+            "wall_seconds": wall_seconds,
+            "phases": phases,
+            "shards": shards,
+            "queue": {
+                "depth": gauges.get(("service.queue_depth", ())),
+                "backpressure_waits": self._family_counter(
+                    counter_deltas, "service.queue_backpressure_waits"
+                ),
+            },
+            "cache": {
+                "hits": hits,
+                "misses": misses,
+                "hit_ratio": (hits / lookups) if lookups else None,
+            },
+            "accuracy": {
+                "ess_mean": self._family_mean(histogram_deltas, "filter.ess"),
+                "kalman_entropy_mean": self._family_mean(
+                    histogram_deltas, "filter.kalman.entropy"
+                ),
+                "kalman_pruned": self._family_counter(
+                    counter_deltas, "filter.kalman.pruned_hypotheses"
+                ),
+                "depletion_reseeds": self._family_counter(
+                    counter_deltas, "filter.depletion_reseeds"
+                ),
+            },
+            "counters": {
+                _display(key): delta
+                for key, delta in sorted(counter_deltas.items())
+            },
+        }
+        self.writer.write(record)
+        return record

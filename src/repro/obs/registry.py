@@ -11,32 +11,75 @@ paper's Section 5 reports:
 * :class:`Timer` — a histogram of elapsed seconds fed by a context
   manager, plus a :class:`Stopwatch` for accumulating coarse sections.
 
+Every instrument may carry a small **frozen label set** — a mapping of
+dimension names to values fixed at creation (``shard="3"``,
+``backend="kalman"``, ``query="knn"``). Each distinct ``(name, labels)``
+pair is its own series, aggregated independently in the registry and
+exported side by side in snapshots; the Prometheus exposition
+(:mod:`repro.obs.expo`) renders the labels natively.
+
 Everything is plain Python with no dependencies. Time is read through an
 injectable monotonic clock so tests (and the determinism suite) can drive
-instruments with a fake clock and get byte-stable output.
+instruments with a fake clock and get byte-stable output. Instruments are
+safe to create and record into from shard worker threads: series creation
+is guarded by a registry lock, per-instrument mutation by the instrument's
+own lock, and timer start stacks are thread-local.
 """
 
 from __future__ import annotations
 
+import re
 import threading
 import time
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 Clock = Callable[[], float]
+
+#: A frozen, canonical label set: sorted ``(key, value)`` pairs.
+LabelKey = Tuple[Tuple[str, str], ...]
 
 #: Default histogram sample retention; past this the histogram keeps
 #: count/sum/min/max exact but stops storing samples for quantiles.
 DEFAULT_MAX_SAMPLES = 65536
+
+#: Label dimensionality bound: labels are for small frozen sets (shard,
+#: backend, query kind), not for unbounded values like object ids.
+MAX_LABELS = 8
+
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def freeze_labels(labels: Optional[Mapping[str, object]]) -> LabelKey:
+    """Canonicalize a label mapping into a sorted, hashable key.
+
+    Label names must be valid identifiers (``[a-zA-Z_][a-zA-Z0-9_]*`` —
+    the Prometheus label grammar); values are coerced to ``str``. At most
+    :data:`MAX_LABELS` dimensions per series.
+    """
+    if not labels:
+        return ()
+    if len(labels) > MAX_LABELS:
+        raise ValueError(
+            f"label set has {len(labels)} dimensions (max {MAX_LABELS}); "
+            "labels are for small frozen dimensions, not per-object values"
+        )
+    frozen = []
+    for key in sorted(labels):
+        if not _LABEL_NAME.match(key):
+            raise ValueError(f"invalid label name {key!r}")
+        frozen.append((key, str(labels[key])))
+    return tuple(frozen)
 
 
 class Counter:
     """A monotonically increasing count. Safe to increment from worker
     threads (the service's sharded filter executor)."""
 
-    __slots__ = ("name", "value", "_lock")
+    __slots__ = ("name", "labels", "value", "_lock")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
         self.name = name
+        self.labels: Dict[str, str] = dict(labels)
         self.value = 0
         self._lock = threading.Lock()
 
@@ -49,16 +92,22 @@ class Counter:
 
     def as_dict(self) -> Dict[str, object]:
         """Serializable snapshot."""
-        return {"name": self.name, "type": "counter", "value": self.value}
+        data: Dict[str, object] = {
+            "name": self.name, "type": "counter", "value": self.value,
+        }
+        if self.labels:
+            data["labels"] = dict(self.labels)
+        return data
 
 
 class Gauge:
     """A last-write-wins scalar."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "labels", "value")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
         self.name = name
+        self.labels: Dict[str, str] = dict(labels)
         self.value: float = 0.0
 
     def set(self, value: float) -> None:
@@ -67,7 +116,12 @@ class Gauge:
 
     def as_dict(self) -> Dict[str, object]:
         """Serializable snapshot."""
-        return {"name": self.name, "type": "gauge", "value": self.value}
+        data: Dict[str, object] = {
+            "name": self.name, "type": "gauge", "value": self.value,
+        }
+        if self.labels:
+            data["labels"] = dict(self.labels)
+        return data
 
 
 class Histogram:
@@ -77,15 +131,24 @@ class Histogram:
     not sketched; past the cap the histogram degrades gracefully —
     ``count``/``total``/``min``/``max`` stay exact, quantiles are computed
     over the retained prefix, and ``dropped`` records how many samples
-    were not retained. Retention is deterministic (first-come) so two
-    identical runs summarize identically.
+    were not retained. The export carries that count as
+    ``dropped_samples`` plus a ``quantiles_estimated`` flag, so a capped
+    histogram's quantiles are honestly labeled as estimates instead of
+    silently passing for exact. Retention is deterministic (first-come)
+    so two identical runs summarize identically.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "dropped",
+    __slots__ = ("name", "labels", "count", "total", "min", "max", "dropped",
                  "max_samples", "_samples", "_lock")
 
-    def __init__(self, name: str, max_samples: int = DEFAULT_MAX_SAMPLES) -> None:
+    def __init__(
+        self,
+        name: str,
+        max_samples: int = DEFAULT_MAX_SAMPLES,
+        labels: LabelKey = (),
+    ) -> None:
         self.name = name
+        self.labels: Dict[str, str] = dict(labels)
         self.count = 0
         self.total = 0.0
         self.min: Optional[float] = None
@@ -127,7 +190,7 @@ class Histogram:
 
     def as_dict(self) -> Dict[str, object]:
         """Serializable snapshot with standard quantile summaries."""
-        return {
+        data: Dict[str, object] = {
             "name": self.name,
             "type": "histogram",
             "count": self.count,
@@ -138,8 +201,12 @@ class Histogram:
             "p50": self.quantile(0.50),
             "p90": self.quantile(0.90),
             "p99": self.quantile(0.99),
-            "dropped": self.dropped,
+            "dropped_samples": self.dropped,
+            "quantiles_estimated": self.dropped > 0,
         }
+        if self.labels:
+            data["labels"] = dict(self.labels)
+        return data
 
 
 class Timer:
@@ -152,20 +219,30 @@ class Timer:
                 ...
 
     Re-entrant use of one timer object is also safe: each ``with`` keeps
-    its start time on a stack.
+    its start time on a stack. The stack is thread-local, so shard worker
+    threads timing the same phase concurrently pair their own start and
+    stop instead of popping each other's.
     """
 
-    __slots__ = ("histogram", "_clock", "_starts")
+    __slots__ = ("histogram", "_clock", "_local")
 
     def __init__(self, histogram: Histogram, clock: Clock) -> None:
         self.histogram = histogram
         self._clock = clock
-        self._starts: List[float] = []
+        self._local = threading.local()
 
     @property
     def name(self) -> str:
         """The underlying histogram's name."""
         return self.histogram.name
+
+    @property
+    def _starts(self) -> List[float]:
+        starts: Optional[List[float]] = getattr(self._local, "starts", None)
+        if starts is None:
+            starts = []
+            self._local.starts = starts
+        return starts
 
     def __enter__(self) -> "Timer":
         self._starts.append(self._clock())
@@ -208,20 +285,25 @@ class Stopwatch:
 
 
 class MetricsRegistry:
-    """Name-keyed store of counters, gauges, histograms, and timers.
+    """Name-and-label-keyed store of counters, gauges, histograms, timers.
 
     Instruments are created on first use and shared thereafter; names are
-    dot-separated (``"filter.predict"``, ``"cache.hits"``). One registry
+    dot-separated (``"filter.predict"``, ``"cache.hits"``), and an
+    optional label mapping selects one series of a metric family
+    (``counter("filter.runs", {"backend": "kalman"})``). One registry
     instance is process-local state — the :mod:`repro.obs` facade owns a
-    default instance, but tests may build private ones.
+    default instance, but tests may build private ones. Series creation
+    is lock-guarded so shard worker threads may create labeled series
+    concurrently.
     """
 
     def __init__(self, clock: Clock = time.perf_counter) -> None:
         self._clock = clock
-        self._counters: Dict[str, Counter] = {}
-        self._gauges: Dict[str, Gauge] = {}
-        self._histograms: Dict[str, Histogram] = {}
-        self._timers: Dict[str, Timer] = {}
+        self._lock = threading.Lock()
+        self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+        self._timers: Dict[Tuple[str, LabelKey], Timer] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -231,59 +313,104 @@ class MetricsRegistry:
 
     def set_clock(self, clock: Clock) -> None:
         """Swap the clock (existing timers pick it up on next use)."""
-        self._clock = clock
-        for timer in self._timers.values():
-            timer._clock = clock
+        with self._lock:
+            self._clock = clock
+            for timer in self._timers.values():
+                timer._clock = clock
 
     # ------------------------------------------------------------------
-    def counter(self, name: str) -> Counter:
-        """Get or create a counter."""
-        instrument = self._counters.get(name)
+    def counter(
+        self, name: str, labels: Optional[Mapping[str, object]] = None
+    ) -> Counter:
+        """Get or create one counter series."""
+        key = (name, freeze_labels(labels))
+        instrument = self._counters.get(key)
         if instrument is None:
-            instrument = self._counters[name] = Counter(name)
+            with self._lock:
+                instrument = self._counters.get(key)
+                if instrument is None:
+                    instrument = self._counters[key] = Counter(name, key[1])
         return instrument
 
-    def gauge(self, name: str) -> Gauge:
-        """Get or create a gauge."""
-        instrument = self._gauges.get(name)
+    def gauge(
+        self, name: str, labels: Optional[Mapping[str, object]] = None
+    ) -> Gauge:
+        """Get or create one gauge series."""
+        key = (name, freeze_labels(labels))
+        instrument = self._gauges.get(key)
         if instrument is None:
-            instrument = self._gauges[name] = Gauge(name)
+            with self._lock:
+                instrument = self._gauges.get(key)
+                if instrument is None:
+                    instrument = self._gauges[key] = Gauge(name, key[1])
         return instrument
 
-    def histogram(self, name: str) -> Histogram:
-        """Get or create a histogram."""
-        instrument = self._histograms.get(name)
+    def histogram(
+        self, name: str, labels: Optional[Mapping[str, object]] = None
+    ) -> Histogram:
+        """Get or create one histogram series."""
+        key = (name, freeze_labels(labels))
+        instrument = self._histograms.get(key)
         if instrument is None:
-            instrument = self._histograms[name] = Histogram(name)
+            with self._lock:
+                instrument = self._histograms.get(key)
+                if instrument is None:
+                    instrument = self._histograms[key] = Histogram(
+                        name, labels=key[1]
+                    )
         return instrument
 
-    def timer(self, name: str) -> Timer:
-        """Get or create a timer (backed by the same-named histogram)."""
-        instrument = self._timers.get(name)
+    def timer(
+        self, name: str, labels: Optional[Mapping[str, object]] = None
+    ) -> Timer:
+        """Get or create a timer (backed by the same-named histogram series)."""
+        key = (name, freeze_labels(labels))
+        instrument = self._timers.get(key)
         if instrument is None:
-            instrument = self._timers[name] = Timer(
-                self.histogram(name), self._clock
-            )
+            histogram = self.histogram(name, labels)
+            with self._lock:
+                instrument = self._timers.get(key)
+                if instrument is None:
+                    instrument = self._timers[key] = Timer(
+                        histogram, self._clock
+                    )
         return instrument
+
+    # ------------------------------------------------------------------
+    def counter_total(self, name: str) -> int:
+        """Sum of one counter family across all of its label sets."""
+        with self._lock:
+            series = [c for (n, _), c in self._counters.items() if n == name]
+        return sum(c.value for c in series)
+
+    def series_of(self, name: str) -> List[Dict[str, object]]:
+        """Every series of one metric family, serialized, label-sorted."""
+        with self._lock:
+            found = [
+                (key, instrument.as_dict())
+                for mapping in (self._counters, self._gauges, self._histograms)
+                for key, instrument in mapping.items()
+                if key[0] == name
+            ]
+        return [data for _, data in sorted(found, key=lambda item: item[0])]
 
     # ------------------------------------------------------------------
     def clear(self) -> None:
         """Drop every instrument (used between runs and by tests)."""
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
-        self._timers.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._timers.clear()
 
     def snapshot(self) -> Dict[str, List[Dict[str, object]]]:
-        """All instruments, serialized, sorted by name."""
+        """All instruments, serialized, sorted by name then label set."""
+        with self._lock:
+            counters = [self._counters[k] for k in sorted(self._counters)]
+            gauges = [self._gauges[k] for k in sorted(self._gauges)]
+            histograms = [self._histograms[k] for k in sorted(self._histograms)]
         return {
-            "counters": [
-                self._counters[k].as_dict() for k in sorted(self._counters)
-            ],
-            "gauges": [
-                self._gauges[k].as_dict() for k in sorted(self._gauges)
-            ],
-            "histograms": [
-                self._histograms[k].as_dict() for k in sorted(self._histograms)
-            ],
+            "counters": [c.as_dict() for c in counters],
+            "gauges": [g.as_dict() for g in gauges],
+            "histograms": [h.as_dict() for h in histograms],
         }

@@ -25,7 +25,19 @@ from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import Tracer
 
 TRACE_FORMAT = "repro-trace"
-TRACE_VERSION = 1
+#: Version 2 added per-series label sets, histogram ``dropped_samples``
+#: counts, and span ``thread`` ids; version-1 files still load.
+TRACE_VERSION = 2
+
+
+def series_name(item: Dict[str, object]) -> str:
+    """One instrument's display name: ``name{k=v,...}`` when labeled."""
+    name = str(item["name"])
+    labels = item.get("labels")
+    if not isinstance(labels, dict) or not labels:
+        return name
+    rendered = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{rendered}}}"
 
 
 def build_snapshot(
@@ -67,17 +79,17 @@ def metric_rows(data: dict) -> List[Dict[str, object]]:
     metrics = data.get("metrics", {})
     for item in metrics.get("counters", []):
         rows.append(
-            {"kind": "counter", "name": item["name"], "value": item["value"]}
+            {"kind": "counter", "name": series_name(item), "value": item["value"]}
         )
     for item in metrics.get("gauges", []):
         rows.append(
-            {"kind": "gauge", "name": item["name"], "value": item["value"]}
+            {"kind": "gauge", "name": series_name(item), "value": item["value"]}
         )
     for item in metrics.get("histograms", []):
         rows.append(
             {
                 "kind": "histogram",
-                "name": item["name"],
+                "name": series_name(item),
                 "count": item["count"],
                 "total": item["total"],
                 "mean": item["mean"],
@@ -86,6 +98,7 @@ def metric_rows(data: dict) -> List[Dict[str, object]]:
                 "p50": item.get("p50"),
                 "p90": item.get("p90"),
                 "p99": item.get("p99"),
+                "dropped_samples": item.get("dropped_samples", 0),
             }
         )
     for item in data.get("trace", {}).get("aggregates", []):
@@ -107,7 +120,7 @@ def write_csv(data: dict, path: str) -> None:
     """Write the flattened metric rows as CSV."""
     columns = [
         "kind", "name", "value", "count", "total",
-        "mean", "min", "max", "p50", "p90", "p99",
+        "mean", "min", "max", "p50", "p90", "p99", "dropped_samples",
     ]
     with open(path, "w", newline="", encoding="utf-8") as handle:
         writer = csv.DictWriter(handle, fieldnames=columns)
@@ -170,6 +183,7 @@ def render_summary(data: dict) -> str:
 
     histograms = [r for r in rows if r["kind"] == "histogram"]
     if histograms:
+        capped = sum(int(r.get("dropped_samples") or 0) for r in histograms)
         lines.append("histograms (seconds unless noted)")
         lines.extend(
             _table(
@@ -177,6 +191,11 @@ def render_summary(data: dict) -> str:
                 ["name", "count", "total", "mean", "p50", "p90", "p99", "max"],
             )
         )
+        if capped:
+            lines.append(
+                f"({capped} samples past the retention cap; quantiles are "
+                "estimates over the retained prefix, totals exact)"
+            )
         lines.append("")
 
     spans = [r for r in rows if r["kind"] == "span"]

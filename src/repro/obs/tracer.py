@@ -41,6 +41,10 @@ class Span:
     index: int
     end: Optional[float] = None
     attrs: Dict[str, object] = field(default_factory=dict)
+    #: Normalized thread id: 0 for the first thread that opened a span,
+    #: 1 for the second, ... Stable within a run; used by the Chrome
+    #: trace export to place spans on per-thread tracks.
+    thread: int = 0
 
     @property
     def duration(self) -> Optional[float]:
@@ -57,6 +61,7 @@ class Span:
             "depth": self.depth,
             "parent": self.parent,
             "index": self.index,
+            "thread": self.thread,
             "attrs": dict(self.attrs),
         }
 
@@ -138,6 +143,7 @@ class Tracer:
         self._lock = threading.Lock()
         self._aggregates: Dict[str, SpanAggregate] = {}
         self._next_index = 0
+        self._next_thread = 0
         self.dropped = 0
 
     @property
@@ -147,6 +153,17 @@ class Tracer:
             stack = []
             self._local.stack = stack
         return stack
+
+    @property
+    def _thread_id(self) -> int:
+        """This thread's normalized id (assigned in first-span order)."""
+        assigned: Optional[int] = getattr(self._local, "thread_id", None)
+        if assigned is None:
+            with self._lock:
+                assigned = self._next_thread
+                self._next_thread += 1
+            self._local.thread_id = assigned
+        return assigned
 
     # ------------------------------------------------------------------
     @property
@@ -182,6 +199,7 @@ class Tracer:
             parent=parent,
             index=index,
             attrs=dict(attrs),
+            thread=self._thread_id,
         )
         stack.append(span)
         return ActiveSpan(self, span)

@@ -215,6 +215,16 @@ class IndoorQueryEngine:
                 obs.add("engine.rounds")
                 obs.add("engine.range_queries", len(self._range_queries))
                 obs.add("engine.knn_queries", len(self._knn_queries))
+                obs.add(
+                    "engine.queries",
+                    len(self._range_queries),
+                    labels={"query": "range"},
+                )
+                obs.add(
+                    "engine.queries",
+                    len(self._knn_queries),
+                    labels={"query": "knn"},
+                )
                 obs.add("engine.objects_evaluated", len(table.objects()))
         return snapshot
 

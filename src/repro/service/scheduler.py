@@ -5,12 +5,18 @@ per batch: collector ingest → sharded filter step → snapshot publish →
 session delta fan-out. Wall-clock pacing is decoupled from the pipeline
 through an injectable clock, so tests (and full-speed replays) run the
 identical code path with no real sleeping.
+
+The scheduler is also the home of the service's operational vitals: it
+timestamps every tick and checkpoint on its injectable clock, feeds the
+optional per-epoch event log (:mod:`repro.obs.events`), and assembles
+the ``/healthz`` document (epoch lag, queue depth, last-checkpoint age,
+shard liveness) served by ``repro serve --metrics-port``.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Optional
+from typing import Dict, Optional
 
 import repro.obs as obs
 from repro.service.ingest import BoundedQueue
@@ -52,7 +58,9 @@ class EpochScheduler:
     ``tick_interval`` is the target wall-clock seconds per tick (0 means
     run flat out — the replay/benchmark mode). ``checkpoint_path`` plus
     ``checkpoint_interval`` N write a warm-restart checkpoint every N
-    ticks (and a final one when the stream ends).
+    ticks (and a final one when the stream ends). ``event_recorder`` (an
+    :class:`~repro.obs.events.EpochEventRecorder`) gets one
+    ``record_epoch`` call per processed batch.
     """
 
     def __init__(
@@ -63,6 +71,7 @@ class EpochScheduler:
         clock=None,
         checkpoint_path: Optional[str] = None,
         checkpoint_interval: int = 0,
+        event_recorder=None,
     ):
         if tick_interval < 0:
             raise ValueError("tick_interval must be non-negative")
@@ -74,8 +83,12 @@ class EpochScheduler:
         self.clock = clock if clock is not None else SystemClock()
         self.checkpoint_path = checkpoint_path
         self.checkpoint_interval = checkpoint_interval
+        self.event_recorder = event_recorder
         self.ticks_run = 0
         self.checkpoints_written = 0
+        self.last_tick_at: Optional[float] = None
+        self.last_tick_seconds: Optional[float] = None
+        self.last_checkpoint_at: Optional[float] = None
 
     def run(self, max_ticks: Optional[int] = None) -> int:
         """Consume batches until the queue closes (or ``max_ticks``).
@@ -91,11 +104,20 @@ class EpochScheduler:
                 break
             started = self.clock.now()
             self.service.process_batch(batch)
-            elapsed = self.clock.now() - started
+            finished = self.clock.now()
+            elapsed = finished - started
             obs.observe("service.tick_latency", elapsed)
             obs.add("service.ticks")
             processed += 1
             self.ticks_run += 1
+            self.last_tick_at = finished
+            self.last_tick_seconds = elapsed
+            if self.event_recorder is not None:
+                self.event_recorder.record_epoch(
+                    second=batch.second,
+                    tick=self.ticks_run,
+                    wall_seconds=elapsed,
+                )
             if (
                 self.checkpoint_path is not None
                 and self.checkpoint_interval > 0
@@ -103,9 +125,51 @@ class EpochScheduler:
             ):
                 save_checkpoint(self.service, self.checkpoint_path)
                 self.checkpoints_written += 1
+                self.last_checkpoint_at = self.clock.now()
             if self.tick_interval > 0:
                 self.clock.sleep(self.tick_interval - elapsed)
         if self.checkpoint_path is not None and processed:
             save_checkpoint(self.service, self.checkpoint_path)
             self.checkpoints_written += 1
+            self.last_checkpoint_at = self.clock.now()
         return processed
+
+    # ------------------------------------------------------------------
+    # operational vitals (the /healthz and /readyz providers)
+    # ------------------------------------------------------------------
+    def ready(self) -> bool:
+        """Ready once at least one tick has been published."""
+        return self.ticks_run > 0
+
+    def health(self, stall_after: Optional[float] = None) -> Dict[str, object]:
+        """The ``/healthz`` document: lag, queue, checkpoint age, shards.
+
+        ``stall_after`` (seconds) marks the service degraded when the
+        last published tick is older than that; by default a quiet loop
+        (e.g. a drained replay) still reports ok.
+        """
+        now = self.clock.now()
+        epoch_lag = None if self.last_tick_at is None else now - self.last_tick_at
+        checkpoint_age = (
+            None if self.last_checkpoint_at is None
+            else now - self.last_checkpoint_at
+        )
+        status = "ok"
+        if stall_after is not None and epoch_lag is not None and epoch_lag > stall_after:
+            status = "stalled"
+        executor = self.service.executor
+        return {
+            "status": status,
+            "ticks": self.ticks_run,
+            "last_second": self.service.last_second,
+            "epoch_lag_seconds": epoch_lag,
+            "last_tick_seconds": self.last_tick_seconds,
+            "queue_depth": len(self.queue),
+            "queue_capacity": self.queue.maxsize,
+            "checkpoint_age_seconds": checkpoint_age,
+            "checkpoints_written": self.checkpoints_written,
+            "tracked_objects": len(self.service.snapshot().table.objects()),
+            "standing_queries": len(self.service.sessions),
+            "shards": executor.shard_health(),
+            "filter_backend": executor.filter_backend.name,
+        }

@@ -164,8 +164,13 @@ class ShardedFilterExecutor:
         """
         shards = partition_objects(candidates, self.num_shards)
         sizes = [len(shard) for shard in shards]
+        backend_label = {"backend": self.filter_backend.name}
         if obs.enabled():
             obs.gauge_set("service.shards", self.num_shards)
+            for index, size in enumerate(sizes):
+                obs.gauge_set(
+                    "service.shard_objects", size, labels={"shard": index}
+                )
             populated = [s for s in sizes if s]
             if populated:
                 mean = sum(populated) / len(populated)
@@ -173,16 +178,17 @@ class ShardedFilterExecutor:
                     "service.shard_imbalance",
                     max(populated) / mean if mean else 1.0,
                 )
-        with obs.timer("service.filter_tick"):
+        with obs.timer("service.filter_tick", labels=backend_label):
             if self.mode == "serial" or (self.num_shards == 1 and self.mode == "thread"):
                 shard_tables = [
-                    self._run_shard(shard, collector, second) for shard in shards
+                    self._run_shard(index, shard, collector, second)
+                    for index, shard in enumerate(shards)
                 ]
             elif self.mode == "thread":
                 pool = self._ensure_thread_pool()
                 futures = [
-                    pool.submit(self._run_shard, shard, collector, second)
-                    for shard in shards
+                    pool.submit(self._run_shard, index, shard, collector, second)
+                    for index, shard in enumerate(shards)
                 ]
                 shard_tables = [f.result() for f in futures]
             else:
@@ -196,15 +202,28 @@ class ShardedFilterExecutor:
 
     # ------------------------------------------------------------------
     def _run_shard(
-        self, shard: List[str], collector, second: int
+        self, index: int, shard: List[str], collector, second: int
     ) -> AnchorObjectTable:
-        """Filter one shard's objects with per-object RNG streams."""
-        return self.preprocessing.process(
-            shard,
-            collector,
-            second,
-            rng_factory=lambda object_id: self.rng_for(second, object_id),
+        """Filter one shard's objects with per-object RNG streams.
+
+        Timed per shard (the ``service.shard_time{shard=N}`` series) and
+        counted per shard and backend — labels only read the shard index
+        and never touch the RNG stream, so labeled runs stay bit-identical
+        to unlabeled ones.
+        """
+        with obs.timer("service.shard_time", labels={"shard": index}):
+            table = self.preprocessing.process(
+                shard,
+                collector,
+                second,
+                rng_factory=lambda object_id: self.rng_for(second, object_id),
+            )
+        obs.add(
+            "service.shard_objects_filtered",
+            len(shard),
+            labels={"shard": index, "backend": self.filter_backend.name},
         )
+        return table
 
     def _ensure_thread_pool(self) -> ThreadPoolExecutor:
         if self._thread_pool is None:
@@ -264,6 +283,17 @@ class ShardedFilterExecutor:
                 table.set_distribution(object_id, distribution)
             tables.append(table)
         return tables
+
+    # ------------------------------------------------------------------
+    def shard_health(self) -> Dict[str, object]:
+        """Pool liveness for the ``/healthz`` document."""
+        return {
+            "num_shards": self.num_shards,
+            "mode": self.mode,
+            "thread_pool_live": self._thread_pool is not None,
+            "process_pool_live": self._process_pool is not None,
+            "cache_enabled": self.cache is not None,
+        }
 
     # ------------------------------------------------------------------
     def close(self) -> None:

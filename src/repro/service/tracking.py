@@ -175,6 +175,7 @@ class TrackingService:
     def query_range(self, window: Rect, query_id: str = "adhoc-range") -> RangeResult:
         """Ad-hoc range query against the published snapshot (no filtering)."""
         snap = self._snapshot
+        obs.add("service.adhoc_queries", labels={"query": "range"})
         return evaluate_range_query(
             RangeQuery(query_id, window), self.plan, self.anchor_index, snap.table
         )
@@ -182,6 +183,7 @@ class TrackingService:
     def query_knn(self, point: Point, k: int, query_id: str = "adhoc-knn") -> KNNResult:
         """Ad-hoc kNN query against the published snapshot (no filtering)."""
         snap = self._snapshot
+        obs.add("service.adhoc_queries", labels={"query": "knn"})
         return evaluate_knn_query(
             KNNQuery(query_id, point, k), self.graph, self.anchor_index, snap.table
         )
