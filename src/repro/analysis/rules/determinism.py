@@ -7,7 +7,8 @@ stream. One call into process-global RNG state — ``random.random()``,
 cross-object coupling and makes results depend on shard count and
 thread interleaving.
 
-Flagged inside ``repro.core`` / ``repro.service`` / ``repro.sim``:
+Flagged inside ``repro.core`` / ``repro.filters`` / ``repro.service`` /
+``repro.sim`` / ``repro.obs``:
 
 * any import of the stdlib ``random`` module (its module functions are
   one shared, implicitly seeded stream);
@@ -53,11 +54,18 @@ class DeterminismRule:
         rule_id="DET",
         title="seeded RNG streams only",
         invariant=(
-            "no process-global random state in core/service/sim; randomness "
-            "flows through repro.rng seeded factories (child_rng et al.)"
+            "no process-global random state in core/service/sim/obs; "
+            "randomness flows through repro.rng seeded factories "
+            "(child_rng et al.)"
         ),
         severity=Severity.ERROR,
-        applies_to=("repro/core", "repro/filters", "repro/service", "repro/sim"),
+        applies_to=(
+            "repro/core",
+            "repro/filters",
+            "repro/service",
+            "repro/sim",
+            "repro/obs",
+        ),
         exempt=(),
     )
 

@@ -257,10 +257,40 @@ def _bench_query_eval(profile: str, seed: int) -> WorkloadResult:
     )
 
 
+def _bench_profiler_overhead(profile: str, seed: int) -> WorkloadResult:
+    """Disabled-path cost of the observability layer.
+
+    Hammers the exact guard path every instrumented hot-path call site
+    pays while observability is off: a counter add, a timer, and a span,
+    interleaved with a little real arithmetic so the guards are measured
+    in context rather than in a tight guard-only loop. The profiler
+    itself adds no call sites beyond these, so this workload is the
+    regression gate for the "≤1% overhead when disabled" budget.
+    """
+    iterations = 600_000 if profile == "full" else 120_000
+    obs.disable()  # the budget under test is the *disabled* path
+    checksum = seed
+    start = time.perf_counter()
+    for index in range(iterations):
+        obs.add("bench.guard")
+        with obs.timer("bench.guard_timer"):
+            checksum = (checksum * 31 + index) % 1_000_003
+        with obs.span("bench.guard_span"):
+            checksum = (checksum ^ (index << 1)) % 1_000_003
+    elapsed = time.perf_counter() - start
+    return WorkloadResult(
+        name="profiler_overhead",
+        wall_seconds=elapsed,
+        work={"iterations": iterations, "checksum": checksum},
+        digest=_digest([iterations, checksum]),
+    )
+
+
 _WORKLOADS: Tuple[Tuple[str, Callable[[str, int], WorkloadResult]], ...] = (
     ("filter_replay", _bench_filter_replay),
     ("service_replay", _bench_service_replay),
     ("query_eval", _bench_query_eval),
+    ("profiler_overhead", _bench_profiler_overhead),
 )
 
 

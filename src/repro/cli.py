@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands::
+Ten subcommands::
 
     repro simulate    run the simulator; export the floor plan, reader
                       deployment, and raw reading log
@@ -9,12 +9,20 @@ Eight subcommands::
     repro serve       run the online tracking service over a replayed log
                       (or live simulation): sharded filtering, standing
                       queries, checkpoint/restore; ``--metrics-port``
-                      serves /metrics + /healthz, ``--events`` writes the
-                      per-epoch event log
+                      serves /metrics + /healthz (+/alerts), ``--events``
+                      writes the per-epoch event log (with rotation),
+                      drift alerting runs whenever observability is on
     repro demo        a 60-second end-to-end demo with live queries
     repro stats       render the summary table of a --trace output file
                       (``--prom`` for Prometheus text, ``--chrome-trace``
-                      for a Perfetto-loadable span timeline)
+                      for a Perfetto span timeline, ``--flamegraph`` for
+                      speedscope JSON, ``--collapsed`` for flamegraph.pl
+                      stacks)
+    repro profile     run a seeded workload under the deterministic
+                      profiler clock and print/export where time goes
+                      (per phase, shard, backend, object bucket)
+    repro top         live ANSI dashboard over a running serve endpoint
+                      or an --events log file
     repro bench       run the deterministic benchmark suite and gate a
                       result file against a committed baseline
     repro lint        static-check the repo's determinism, clock, and
@@ -220,6 +228,22 @@ def build_parser() -> argparse.ArgumentParser:
             "accuracy proxies); implies observability"
         ),
     )
+    serve.add_argument(
+        "--events-rotate-mb", type=float, default=None, metavar="MB",
+        help="rotate the --events log when it reaches this size",
+    )
+    serve.add_argument(
+        "--events-keep", type=int, default=3, metavar="N",
+        help="rotated --events generations to keep (default: 3)",
+    )
+    serve.add_argument(
+        "--alerts-log", metavar="JSONL",
+        help=(
+            "write drift-alert fired/resolved events here; implies "
+            "observability (alert rules always run while observability "
+            "is on)"
+        ),
+    )
     _add_filter_option(serve, default=None)
 
     subparsers.add_parser("demo", help="run a quick end-to-end demo")
@@ -238,6 +262,81 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--chrome-trace", metavar="JSON", dest="chrome_trace",
         help="export the spans as Chrome trace-event JSON (Perfetto)",
+    )
+    stats.add_argument(
+        "--flamegraph", metavar="JSON",
+        help="export the spans as speedscope JSON (speedscope.app)",
+    )
+    stats.add_argument(
+        "--collapsed", metavar="TXT",
+        help="export collapsed stacks (flamegraph.pl / inferno input)",
+    )
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="deterministic cost-attribution profile of a seeded workload",
+    )
+    profile.add_argument(
+        "--smoke", action="store_true",
+        help="tiny fixed workload (what CI runs twice and diffs)",
+    )
+    profile.add_argument("--objects", type=int, default=25)
+    profile.add_argument("--seconds", type=int, default=30)
+    profile.add_argument("--seed", type=int, default=7)
+    profile.add_argument(
+        "--wall", action="store_true",
+        help=(
+            "attribute real wall time instead of deterministic clock "
+            "units (output is machine-dependent)"
+        ),
+    )
+    profile.add_argument(
+        "--top", type=int, default=12, help="phases to print (default: 12)"
+    )
+    profile.add_argument(
+        "--out", metavar="JSON", help="write the attribution document"
+    )
+    profile.add_argument(
+        "--speedscope", metavar="JSON",
+        help="write the speedscope flamegraph export",
+    )
+    profile.add_argument(
+        "--collapsed", metavar="TXT", help="write collapsed stacks"
+    )
+    _add_filter_option(profile)
+
+    top = subparsers.add_parser(
+        "top", help="live terminal dashboard for a running serve"
+    )
+    top_source = top.add_mutually_exclusive_group(required=True)
+    top_source.add_argument(
+        "--url", metavar="URL",
+        help="base URL of a serve --metrics-port endpoint",
+    )
+    top_source.add_argument(
+        "--events", metavar="JSONL",
+        help="tail a serve --events log file instead (also post-mortem)",
+    )
+    top.add_argument(
+        "--alerts-log", metavar="JSONL",
+        help="with --events: also fold in this alert event log",
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="refresh interval (default: 1.0)",
+    )
+    top.add_argument(
+        "--frames", type=int, default=None, metavar="N",
+        help="render N frames then exit (default: run until Ctrl-C)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (no ANSI clear)",
+    )
+    top.add_argument("--width", type=int, default=100)
+    top.add_argument(
+        "--no-ansi", action="store_true",
+        help="never emit ANSI clear codes (append frames instead)",
     )
 
     bench = subparsers.add_parser(
@@ -324,6 +423,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _cmd_serve,
         "demo": _cmd_demo,
         "stats": _cmd_stats,
+        "profile": _cmd_profile,
+        "top": _cmd_top,
         "bench": _cmd_bench,
         "lint": _cmd_lint,
     }[args.command]
@@ -479,6 +580,108 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
         write_chrome_trace(data, args.chrome_trace)
         print(f"chrome trace -> {args.chrome_trace}")
+    if args.flamegraph:
+        from repro.obs.profiler import write_speedscope
+
+        write_speedscope(data, args.flamegraph, name=args.trace)
+        print(f"speedscope -> {args.flamegraph}")
+    if args.collapsed:
+        from repro.obs.profiler import build_profile, write_collapsed
+
+        write_collapsed(build_profile(data), args.collapsed)
+        print(f"collapsed stacks -> {args.collapsed}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs.profiler import (
+        CountingClock,
+        build_profile,
+        render_attribution,
+        write_collapsed,
+        write_profile,
+        write_speedscope,
+    )
+    from repro.sim import Simulation
+
+    objects = 8 if args.smoke else args.objects
+    seconds = 10 if args.smoke else args.seconds
+    clock_kind = "wall" if args.wall else "deterministic"
+    if not args.wall:
+        # Span durations under the counting clock measure instrumented
+        # operations, not machine speed: same seed -> bit-identical
+        # attribution on any machine (CI asserts exactly this).
+        obs.set_clock(CountingClock())
+    obs.enable()
+    try:
+        config = DEFAULT_CONFIG.with_overrides(
+            num_objects=objects, seed=args.seed
+        )
+        sim = Simulation(
+            config, build_symbolic=False, filter_backend=args.filter_backend
+        )
+        sim.run_for(seconds)
+        # One full evaluation round so query-path phases are attributed
+        # too, not just the collector/filter loop.
+        sim.pf_engine.range_query(sim.random_window(), sim.now, rng=sim.pf_rng)
+        sim.pf_engine.locations_snapshot(sim.now, rng=sim.pf_rng)
+        meta = {
+            "command": "profile",
+            "objects": objects,
+            "seconds": seconds,
+            "seed": args.seed,
+            "filter": args.filter_backend,
+            "clock": clock_kind,
+        }
+        snapshot = obs.snapshot(meta=meta)
+    finally:
+        obs.disable()
+        obs.reset()
+        obs.set_clock(time.perf_counter)
+
+    result = build_profile(snapshot, clock=clock_kind, meta=meta)
+    print(render_attribution(result, top=args.top))
+    if args.out:
+        write_profile(result, args.out)
+        print(f"profile -> {args.out}")
+    if args.speedscope:
+        write_speedscope(
+            snapshot, args.speedscope,
+            name=f"repro profile seed={args.seed}",
+        )
+        print(f"speedscope -> {args.speedscope}")
+    if args.collapsed:
+        write_collapsed(result, args.collapsed)
+        print(f"collapsed stacks -> {args.collapsed}")
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs.dashboard import EventLogTopSource, HttpTopSource, TopLoop
+
+    source: object
+    if args.url:
+        source = HttpTopSource(args.url)
+    else:
+        source = EventLogTopSource(args.events, alerts_path=args.alerts_log)
+    frames = 1 if args.once else args.frames
+    loop = TopLoop(
+        source,
+        clock=time.monotonic,
+        sleep=time.sleep,
+        interval=args.interval,
+        width=args.width,
+        frames=frames,
+        use_ansi=not (args.no_ansi or args.once),
+    )
+    try:
+        loop.run()
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -626,6 +829,46 @@ def _format_delta(delta) -> str:
     return f"[t={delta.second}] {delta.query_id} " + " ".join(parts)
 
 
+def _occupancy_accuracy_provider(service, sim):
+    """Per-room occupancy error vs live-simulation ground truth.
+
+    Compares the service's expected per-room object mass (belief-table
+    probabilities folded through each anchor's room) against the true
+    per-room counts from the simulator, plus one combined hallway
+    bucket. Returned fields merge into each epoch record's ``accuracy``
+    section and feed the ``occupancy_error`` drift rule.
+    """
+    rooms = list(service.plan.rooms)
+    hall_key = "__hallways__"
+
+    def provider():
+        true_counts = {room.room_id: 0.0 for room in rooms}
+        true_counts[hall_key] = 0.0
+        for point in sim.true_positions().values():
+            for room in rooms:
+                if room.contains(point):
+                    true_counts[room.room_id] += 1.0
+                    break
+            else:
+                true_counts[hall_key] += 1.0
+        estimated = {key: 0.0 for key in true_counts}
+        table = service.snapshot().table
+        for object_id in table.objects():
+            for ap_id, prob in table.distribution_of(object_id).items():
+                room_id = service.anchor_index.anchor(ap_id).room_id
+                key = room_id if room_id in estimated else hall_key
+                estimated[key] += prob
+        errors = [
+            abs(estimated[key] - true_counts[key]) for key in true_counts
+        ]
+        return {
+            "occupancy_error_mean": round(sum(errors) / len(errors), 9),
+            "occupancy_rooms_compared": len(errors),
+        }
+
+    return provider
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import json as _json
 
@@ -642,11 +885,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
 
     tracing = _start_trace(args)
-    # --metrics-port and --events both need the registry recording; turn
-    # observability on for the run even without --trace. Neither touches
-    # the RNG streams, so replay output stays bit-identical either way.
+    # --metrics-port, --events and --alerts-log all need the registry
+    # recording; turn observability on for the run even without --trace.
+    # None of them touches the RNG streams, so replay output stays
+    # bit-identical either way.
     obs_session = tracing
-    if (args.metrics_port is not None or args.events) and not obs.enabled():
+    if (
+        args.metrics_port is not None or args.events or args.alerts_log
+    ) and not obs.enabled():
         obs.enable()
         obs_session = True
     plan = load_floorplan(args.plan) if args.plan else None
@@ -736,11 +982,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     event_writer = None
     event_recorder = None
-    if args.events:
+    alert_writer = None
+    alert_engine = None
+    if obs_session:
+        # Drift alerting rides on the epoch records: the recorder always
+        # runs during an observability session (writer-less when no
+        # --events file was asked for), and every record feeds the rules.
+        from repro.obs.alerts import ALERTS_FORMAT, ALERTS_VERSION, AlertEngine
         from repro.obs.events import EpochEventRecorder, EpochEventWriter
 
-        event_writer = EpochEventWriter(args.events)
-        event_recorder = EpochEventRecorder(event_writer, obs.registry())
+        if args.events:
+            event_writer = EpochEventWriter(
+                args.events,
+                rotate_mb=args.events_rotate_mb,
+                keep=args.events_keep,
+            )
+        if args.alerts_log:
+            alert_writer = EpochEventWriter(
+                args.alerts_log, fmt=ALERTS_FORMAT, version=ALERTS_VERSION
+            )
+        alert_engine = AlertEngine(writer=alert_writer)
+        accuracy_provider = (
+            _occupancy_accuracy_provider(service, sim) if args.live else None
+        )
+        event_recorder = EpochEventRecorder(
+            event_writer, obs.registry(), accuracy_provider=accuracy_provider
+        )
 
     scheduler = EpochScheduler(
         service,
@@ -749,6 +1016,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         checkpoint_path=args.checkpoint,
         checkpoint_interval=args.checkpoint_interval,
         event_recorder=event_recorder,
+        alert_engine=alert_engine,
     )
 
     metrics_server = None
@@ -759,6 +1027,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             snapshot_provider=obs.snapshot,
             health_provider=scheduler.health,
             ready_provider=scheduler.ready,
+            alerts_provider=(
+                alert_engine.summary if alert_engine is not None else None
+            ),
             host=args.metrics_host,
             port=args.metrics_port,
         )
@@ -776,11 +1047,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             metrics_server.stop()
         if event_writer is not None:
             event_writer.close()
+        if alert_writer is not None:
+            alert_writer.close()
     if event_writer is not None:
+        rotated = (
+            f", {event_writer.rotations} rotation(s)"
+            if event_writer.rotations
+            else ""
+        )
         print(
             f"event log -> {args.events} "
-            f"({event_writer.records_written} epoch records)"
+            f"({event_writer.records_written} epoch records{rotated})"
         )
+    if alert_writer is not None:
+        print(
+            f"alert log -> {args.alerts_log} "
+            f"({alert_writer.records_written} alert event(s))"
+        )
+    if alert_engine is not None:
+        for alert in alert_engine.active():
+            print(
+                f"active alert [{alert['severity']}] {alert['rule']}: "
+                f"{alert['description']}"
+            )
     if feeder.error is not None:
         print(f"repro: ingest error: {feeder.error}", file=sys.stderr)
         return 1

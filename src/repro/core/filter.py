@@ -155,7 +155,7 @@ class ParticleFilter:
                 return
             particles.normalize_weights()
         ess = 1.0 / float(np.sum(particles.weight ** 2))
-        obs.observe("filter.ess", ess)
+        self._record_ess(ess, len(particles))
         if ess < len(particles) / 2.0:
             with obs.timer("filter.resample"):
                 indices = self.resampler(particles.weight, len(particles), rng)
@@ -187,6 +187,11 @@ class ParticleFilter:
             # Recover by re-seeding within the observed reader's range —
             # the object is certainly there (paper Section 3.2, Case 1).
             obs.add("filter.depletion_reseeds")
+            # A depleted cloud is the extreme of weight degeneracy: record
+            # it as ESS 1.0 so the epoch-level `accuracy.ess_mean` proxy
+            # actually collapses under reader outages instead of silently
+            # omitting the worst-off objects from the mean.
+            self._record_ess(1.0, len(particles))
             reseeded = self.motion.initialize_in_circle(
                 len(particles), self.readers[reader_id].detection_circle, rng
             )
@@ -198,12 +203,26 @@ class ParticleFilter:
             # Effective sample size before resampling: the paper's proxy
             # for weight degeneracy, exported per observation so the
             # epoch event log can trend accuracy drift.
-            obs.observe(
-                "filter.ess", 1.0 / float(np.sum(particles.weight ** 2))
+            self._record_ess(
+                1.0 / float(np.sum(particles.weight ** 2)), len(particles)
             )
         with obs.timer("filter.resample"):
             indices = self.resampler(particles.weight, len(particles), rng)
             self._replace(particles, particles.select(indices))
+
+    @staticmethod
+    def _record_ess(ess: float, num_particles: int) -> None:
+        """Export one pre-resample ESS sample plus its collapse counter.
+
+        ``filter.ess_collapses`` counts samples below a quarter of the
+        particle budget — the per-run degeneracy events whose per-epoch
+        *fraction* (``accuracy.ess_collapse_frac`` in the event log) is
+        what the ``ess_collapse`` drift alert watches. The family mean
+        alone dilutes localized collapses past recognition.
+        """
+        obs.observe("filter.ess", ess)
+        if ess < num_particles / 4.0:
+            obs.add("filter.ess_collapses")
 
     @staticmethod
     def _replace(particles: ParticleSet, source: ParticleSet) -> None:

@@ -11,8 +11,9 @@ N cost and how healthy was the belief state" directly:
 * per-shard filter seconds (from the ``service.shard_time`` series,
   one per ``shard`` label);
 * queue depth and backpressure stalls, cache hits/misses and hit ratio;
-* accuracy-drift proxies: mean particle effective sample size, mean
-  Kalman mixture entropy, Kalman hypotheses pruned, depletion reseeds.
+* accuracy-drift proxies: mean particle effective sample size (plus the
+  fraction of runs whose ESS collapsed), mean Kalman mixture entropy,
+  Kalman hypotheses pruned, depletion reseeds.
 
 The file starts with a header line (``format``/``version``) followed by
 one record per epoch. Everything is derived from already-recorded
@@ -23,13 +24,18 @@ perturb replay results (covered by the serve determinism test).
 from __future__ import annotations
 
 import json
+import os
 import threading
-from typing import Dict, IO, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, IO, List, Mapping, Optional, Tuple
 
 from repro.obs.registry import MetricsRegistry
 
 EVENTS_FORMAT = "repro-epoch-events"
 EVENTS_VERSION = 1
+
+#: How many rotated generations ``EpochEventWriter`` keeps by default
+#: (``events.jsonl.1`` .. ``events.jsonl.N``; older generations drop).
+DEFAULT_KEEP = 3
 
 #: Histogram families reported as per-epoch phase seconds.
 PHASE_FAMILIES: Tuple[str, ...] = (
@@ -61,28 +67,85 @@ def _display(key: _SeriesKey) -> str:
 
 
 class EpochEventWriter:
-    """Append-only JSONL sink with a format header and a write lock."""
+    """Append-only JSONL sink with a format header and a write lock.
 
-    def __init__(self, path: str) -> None:
+    With ``rotate_mb`` (or ``rotate_bytes``) set, the log rotates before
+    a write would push the current file past the limit: generations
+    shift ``path.1 → path.2 → ...`` via atomic :func:`os.replace` (same
+    directory, so the rename never crosses filesystems), the live file
+    becomes ``path.1``, and a fresh file reopens with a new header line.
+    At most ``keep`` rotated generations survive. Rotation holds the
+    write lock, so readers tailing the live path only ever see whole
+    lines.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        fmt: str = EVENTS_FORMAT,
+        version: int = EVENTS_VERSION,
+        rotate_mb: Optional[float] = None,
+        rotate_bytes: Optional[int] = None,
+        keep: int = DEFAULT_KEEP,
+    ) -> None:
+        if rotate_bytes is None and rotate_mb is not None:
+            rotate_bytes = int(rotate_mb * 1024 * 1024)
+        if rotate_bytes is not None and rotate_bytes <= 0:
+            raise ValueError("rotation size must be positive")
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
         self.path = path
+        self.fmt = fmt
+        self.version = version
+        self.rotate_bytes = rotate_bytes
+        self.keep = keep
+        self.rotations = 0
+        self._bytes_written = 0
         self._lock = threading.Lock()
-        self._handle: Optional[IO[str]] = open(path, "w", encoding="utf-8")
-        self._write_line(
-            {"format": EVENTS_FORMAT, "version": EVENTS_VERSION}
-        )
+        self._handle: Optional[IO[str]] = None
+        self._open_fresh()
         self.records_written = 0
+
+    def _open_fresh(self) -> None:
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self._bytes_written = 0
+        self._write_line({"format": self.fmt, "version": self.version})
 
     def _write_line(self, record: Mapping[str, object]) -> None:
         handle = self._handle
         if handle is None:
             raise ValueError(f"event log {self.path} is closed")
-        handle.write(json.dumps(record, sort_keys=True))
-        handle.write("\n")
+        line = json.dumps(record, sort_keys=True) + "\n"
+        handle.write(line)
         handle.flush()
+        self._bytes_written += len(line.encode("utf-8"))
+
+    def _rotate_locked(self) -> None:
+        handle = self._handle
+        if handle is not None:
+            handle.close()
+            self._handle = None
+        # Drop the oldest generation, then shift the rest up by one.
+        oldest = f"{self.path}.{self.keep}"
+        if os.path.exists(oldest):
+            os.remove(oldest)
+        for index in range(self.keep - 1, 0, -1):
+            source = f"{self.path}.{index}"
+            if os.path.exists(source):
+                os.replace(source, f"{self.path}.{index + 1}")
+        os.replace(self.path, f"{self.path}.1")
+        self._open_fresh()
+        self.rotations += 1
 
     def write(self, record: Mapping[str, object]) -> None:
-        """Append one epoch record (thread-safe)."""
+        """Append one epoch record (thread-safe), rotating if due."""
         with self._lock:
+            if (
+                self.rotate_bytes is not None
+                and self._handle is not None
+                and self._bytes_written >= self.rotate_bytes
+            ):
+                self._rotate_locked()
             self._write_line(record)
             self.records_written += 1
 
@@ -100,16 +163,18 @@ class EpochEventWriter:
         self.close()
 
 
-def read_events(path: str) -> Tuple[Dict[str, object], List[Dict[str, object]]]:
+def read_events(
+    path: str, fmt: str = EVENTS_FORMAT
+) -> Tuple[Dict[str, object], List[Dict[str, object]]]:
     """Load an event log; returns ``(header, records)`` after validation."""
     with open(path, "r", encoding="utf-8") as handle:
         lines = [line for line in handle if line.strip()]
     if not lines:
         raise ValueError(f"{path}: empty event log")
     header = json.loads(lines[0])
-    if not isinstance(header, dict) or header.get("format") != EVENTS_FORMAT:
+    if not isinstance(header, dict) or header.get("format") != fmt:
         raise ValueError(
-            f"{path} is not a {EVENTS_FORMAT} file (bad header line)"
+            f"{path} is not a {fmt} file (bad header line)"
         )
     records = [json.loads(line) for line in lines[1:]]
     return header, records
@@ -121,14 +186,26 @@ class EpochEventRecorder:
     The recorder keeps the previous tick's counter values and histogram
     ``(count, total)`` pairs per series; :meth:`record_epoch` diffs the
     live registry against them, writes one record, and rolls the
-    baseline forward.
+    baseline forward. ``writer=None`` skips the JSONL sink but still
+    builds and returns records — the alert engine and the ``repro top``
+    HTTP source consume them directly.
+
+    ``accuracy_provider`` (optional) supplies extra accuracy fields per
+    epoch — the live-simulation occupancy-error ground truth — merged
+    into the record's ``accuracy`` section.
     """
 
     def __init__(
-        self, writer: EpochEventWriter, registry: MetricsRegistry
+        self,
+        writer: Optional[EpochEventWriter],
+        registry: MetricsRegistry,
+        accuracy_provider: Optional[
+            Callable[[], Mapping[str, object]]
+        ] = None,
     ) -> None:
         self.writer = writer
         self.registry = registry
+        self.accuracy_provider = accuracy_provider
         self._prev_counters: Dict[_SeriesKey, int] = {}
         self._prev_histograms: Dict[_SeriesKey, Tuple[int, float]] = {}
 
@@ -203,6 +280,15 @@ class EpochEventRecorder:
         misses = self._family_counter(counter_deltas, "cache.misses")
         lookups = hits + misses
 
+        ess_samples = sum(
+            d[0]
+            for key, d in histogram_deltas.items()
+            if key[0] == "filter.ess"
+        )
+        ess_collapses = self._family_counter(
+            counter_deltas, "filter.ess_collapses"
+        )
+
         record: Dict[str, object] = {
             "tick": tick,
             "second": second,
@@ -222,6 +308,15 @@ class EpochEventRecorder:
             },
             "accuracy": {
                 "ess_mean": self._family_mean(histogram_deltas, "filter.ess"),
+                # Fraction of this epoch's filter runs whose pre-resample
+                # ESS collapsed (below a quarter of the particle budget).
+                # The mean alone hides localized collapses: one depleted
+                # object among twenty healthy ones barely moves it.
+                "ess_collapse_frac": (
+                    round(ess_collapses / ess_samples, 9)
+                    if ess_samples
+                    else None
+                ),
                 "kalman_entropy_mean": self._family_mean(
                     histogram_deltas, "filter.kalman.entropy"
                 ),
@@ -237,5 +332,11 @@ class EpochEventRecorder:
                 for key, delta in sorted(counter_deltas.items())
             },
         }
-        self.writer.write(record)
+        if self.accuracy_provider is not None:
+            accuracy = record["accuracy"]
+            assert isinstance(accuracy, dict)
+            for key, value in self.accuracy_provider().items():
+                accuracy[str(key)] = value
+        if self.writer is not None:
+            self.writer.write(record)
         return record

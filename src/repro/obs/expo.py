@@ -23,6 +23,7 @@ perturb results (the serve determinism test covers exactly this).
 from __future__ import annotations
 
 import json
+import platform
 import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -38,6 +39,20 @@ _NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
 
 SnapshotProvider = Callable[[], Dict[str, object]]
 HealthProvider = Callable[[], Dict[str, object]]
+AlertsProvider = Callable[[], Dict[str, object]]
+
+
+def build_info() -> Dict[str, str]:
+    """Identify the running build: package version + Python version.
+
+    Exported as the standard info-gauge pattern
+    (``repro_build_info{version,python} 1``) and embedded in the
+    ``/healthz`` payload so scrapes and probes can tell which build is
+    answering.
+    """
+    from repro import __version__
+
+    return {"version": __version__, "python": platform.python_version()}
 
 
 def metric_name(name: str, suffix: str = "") -> str:
@@ -109,6 +124,10 @@ def render_prometheus(snapshot: Mapping[str, object]) -> str:
         for item in entries:
             families.setdefault((str(item["name"]), kind), []).append(item)
 
+    info = build_info()
+    lines.append("# TYPE repro_build_info gauge")
+    lines.append(f"repro_build_info{_label_text(info)} 1")
+
     for (name, kind), items in sorted(families.items()):
         if kind == "counters":
             family = metric_name(name, "_total")
@@ -157,10 +176,15 @@ class MetricsServer:
     Routes:
 
     * ``GET /metrics`` — Prometheus text of ``snapshot_provider()``;
-    * ``GET /healthz`` — ``health_provider()`` as JSON; HTTP 200 when its
-      ``"status"`` field is ``"ok"`` (or absent), 503 otherwise;
+    * ``GET /healthz`` — ``health_provider()`` as JSON (plus a ``build``
+      key from :func:`build_info`); HTTP 200 when its ``"status"`` field
+      is ``"ok"`` (or absent), 503 otherwise;
     * ``GET /readyz`` — ``{"ready": bool}`` from ``ready_provider()``;
-      200 when ready, 503 before the first published tick.
+      200 when ready, 503 before the first published tick;
+    * ``GET /snapshot`` — the raw snapshot dict as JSON (what the
+      ``repro top`` dashboard polls for per-interval deltas);
+    * ``GET /alerts`` — ``alerts_provider()`` as JSON (the alert-engine
+      summary); 404 when no alert engine is wired in.
 
     ``port=0`` binds an ephemeral port; :meth:`start` returns the bound
     port. The server runs daemonized and is stopped with :meth:`stop`
@@ -173,12 +197,14 @@ class MetricsServer:
         snapshot_provider: SnapshotProvider,
         health_provider: Optional[HealthProvider] = None,
         ready_provider: Optional[Callable[[], bool]] = None,
+        alerts_provider: Optional[AlertsProvider] = None,
         host: str = "127.0.0.1",
         port: int = 0,
     ) -> None:
         self._snapshot_provider = snapshot_provider
         self._health_provider = health_provider
         self._ready_provider = ready_provider
+        self._alerts_provider = alerts_provider
         self._host = host
         self._requested_port = port
         self._server: Optional[ThreadingHTTPServer] = None
@@ -207,6 +233,7 @@ class MetricsServer:
                 self._snapshot_provider,
                 self._health_provider,
                 self._ready_provider,
+                self._alerts_provider,
             )
             self._server = ThreadingHTTPServer(
                 (self._host, self._requested_port), handler
@@ -243,6 +270,7 @@ def _make_handler(
     snapshot_provider: SnapshotProvider,
     health_provider: Optional[HealthProvider],
     ready_provider: Optional[Callable[[], bool]],
+    alerts_provider: Optional[AlertsProvider] = None,
 ) -> type:
     """Build the request-handler class closed over the providers."""
 
@@ -277,6 +305,7 @@ def _make_handler(
                         dict(health_provider()) if health_provider else {}
                     )
                     health.setdefault("status", "ok")
+                    health.setdefault("build", build_info())
                     status = 200 if health["status"] == "ok" else 503
                     self._send_json(status, health)
                 elif path == "/readyz":
@@ -284,6 +313,15 @@ def _make_handler(
                     self._send_json(
                         200 if ready else 503, {"ready": ready}
                     )
+                elif path == "/snapshot":
+                    self._send_json(200, dict(snapshot_provider()))
+                elif path == "/alerts":
+                    if alerts_provider is None:
+                        self._send_json(
+                            404, {"error": "no alert engine configured"}
+                        )
+                    else:
+                        self._send_json(200, dict(alerts_provider()))
                 else:
                     self._send_json(404, {"error": f"no route {path}"})
             except Exception as exc:  # pragma: no cover - provider failure

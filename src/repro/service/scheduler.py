@@ -60,7 +60,9 @@ class EpochScheduler:
     ``checkpoint_interval`` N write a warm-restart checkpoint every N
     ticks (and a final one when the stream ends). ``event_recorder`` (an
     :class:`~repro.obs.events.EpochEventRecorder`) gets one
-    ``record_epoch`` call per processed batch.
+    ``record_epoch`` call per processed batch; ``alert_engine`` (an
+    :class:`~repro.obs.alerts.AlertEngine`) receives each epoch record
+    for online drift detection (requires an event recorder).
     """
 
     def __init__(
@@ -72,6 +74,7 @@ class EpochScheduler:
         checkpoint_path: Optional[str] = None,
         checkpoint_interval: int = 0,
         event_recorder=None,
+        alert_engine=None,
     ):
         if tick_interval < 0:
             raise ValueError("tick_interval must be non-negative")
@@ -84,6 +87,7 @@ class EpochScheduler:
         self.checkpoint_path = checkpoint_path
         self.checkpoint_interval = checkpoint_interval
         self.event_recorder = event_recorder
+        self.alert_engine = alert_engine
         self.ticks_run = 0
         self.checkpoints_written = 0
         self.last_tick_at: Optional[float] = None
@@ -113,11 +117,13 @@ class EpochScheduler:
             self.last_tick_at = finished
             self.last_tick_seconds = elapsed
             if self.event_recorder is not None:
-                self.event_recorder.record_epoch(
+                record = self.event_recorder.record_epoch(
                     second=batch.second,
                     tick=self.ticks_run,
                     wall_seconds=elapsed,
                 )
+                if self.alert_engine is not None:
+                    self.alert_engine.observe_epoch(record)
             if (
                 self.checkpoint_path is not None
                 and self.checkpoint_interval > 0
@@ -172,4 +178,9 @@ class EpochScheduler:
             "standing_queries": len(self.service.sessions),
             "shards": executor.shard_health(),
             "filter_backend": executor.filter_backend.name,
+            "active_alerts": (
+                len(self.alert_engine.active())
+                if self.alert_engine is not None
+                else None
+            ),
         }

@@ -1,0 +1,329 @@
+"""Accuracy-drift alerting (repro.obs.alerts): rules, engine, surfacing."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.obs.alerts import (
+    ALERTS_FORMAT,
+    ALERTS_VERSION,
+    AlertEngine,
+    AlertRule,
+    builtin_rules,
+)
+from repro.obs.events import EpochEventWriter, read_events
+from repro.obs.expo import MetricsServer
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+    obs.set_clock(__import__("time").perf_counter)
+
+
+def _record(tick, **accuracy):
+    return {
+        "tick": tick,
+        "second": tick,
+        "wall_seconds": 0.01,
+        "queue": {"backpressure_waits": 0},
+        "accuracy": accuracy,
+    }
+
+
+# ----------------------------------------------------------------------
+# rule validation
+# ----------------------------------------------------------------------
+class TestAlertRule:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            AlertRule(name="x", field="a", kind="sideways")
+
+    def test_rejects_unknown_severity(self):
+        with pytest.raises(ValueError):
+            AlertRule(name="x", field="a", kind="above", severity="loud")
+
+    def test_rejects_bad_alpha_and_min_samples(self):
+        with pytest.raises(ValueError):
+            AlertRule(name="x", field="a", kind="ewma_drop", alpha=0.0)
+        with pytest.raises(ValueError):
+            AlertRule(name="x", field="a", kind="above", min_samples=0)
+
+    def test_rejects_nonpositive_ewma_factor(self):
+        with pytest.raises(ValueError):
+            AlertRule(name="x", field="a", kind="ewma_rise", factor=0.0)
+
+    def test_builtin_set_includes_ess_collapse(self):
+        names = {rule.name for rule in builtin_rules()}
+        assert "ess_collapse" in names
+        assert "depletion_surge" in names
+        ess = next(r for r in builtin_rules() if r.name == "ess_collapse")
+        assert ess.severity == "critical"
+        assert ess.kind == "ewma_drop"
+
+    def test_engine_rejects_duplicate_rule_names(self):
+        rule = AlertRule(name="dup", field="a", kind="above")
+        with pytest.raises(ValueError):
+            AlertEngine(rules=[rule, rule])
+
+
+# ----------------------------------------------------------------------
+# evaluation semantics
+# ----------------------------------------------------------------------
+class TestEvaluation:
+    def test_above_fires_and_resolves(self):
+        engine = AlertEngine(rules=[
+            AlertRule(name="r", field="accuracy.x", kind="above",
+                      threshold=2.0, min_samples=1),
+        ])
+        assert engine.observe_epoch(_record(1, x=1.0)) == []
+        fired = engine.observe_epoch(_record(2, x=3.0))
+        assert [e["action"] for e in fired] == ["fired"]
+        # Still breaching: a transition already reported, no repeat.
+        assert engine.observe_epoch(_record(3, x=4.0)) == []
+        resolved = engine.observe_epoch(_record(4, x=0.0))
+        assert [e["action"] for e in resolved] == ["resolved"]
+
+    def test_below_kind(self):
+        engine = AlertEngine(rules=[
+            AlertRule(name="r", field="accuracy.x", kind="below",
+                      threshold=1.0, min_samples=1),
+        ])
+        assert engine.observe_epoch(_record(1, x=0.5))[0]["action"] == "fired"
+
+    def test_missing_or_null_field_is_skipped(self):
+        engine = AlertEngine(rules=[
+            AlertRule(name="r", field="accuracy.x", kind="above",
+                      threshold=0.0, min_samples=1),
+        ])
+        assert engine.observe_epoch(_record(1)) == []
+        assert engine.observe_epoch(_record(2, x=None)) == []
+        assert engine.observe_epoch(_record(3, x=True)) == []  # bools skipped
+
+    def test_ewma_needs_min_samples_before_arming(self):
+        engine = AlertEngine(rules=[
+            AlertRule(name="r", field="accuracy.x", kind="ewma_drop",
+                      factor=0.5, min_samples=3),
+        ])
+        # A collapse before the baseline is armed must not fire.
+        assert engine.observe_epoch(_record(1, x=40.0)) == []
+        assert engine.observe_epoch(_record(2, x=1.0)) == []
+        assert engine.observe_epoch(_record(3, x=40.0)) == []
+
+    def test_ewma_drop_fires_and_baseline_freezes_during_breach(self):
+        engine = AlertEngine(rules=[
+            AlertRule(name="r", field="accuracy.x", kind="ewma_drop",
+                      factor=0.5, alpha=0.2, min_samples=3),
+        ])
+        for tick in range(1, 5):
+            assert engine.observe_epoch(_record(tick, x=40.0)) == []
+        fired = engine.observe_epoch(_record(5, x=10.0))
+        assert [e["action"] for e in fired] == ["fired"]
+        assert fired[0]["baseline"] == pytest.approx(40.0)
+        # Sustained collapse: the baseline must not be absorbed, so a
+        # later equally-low epoch is still breaching (no resolve).
+        assert engine.observe_epoch(_record(6, x=10.0)) == []
+        summary = engine.summary()
+        rule = next(r for r in summary["rules"] if r["rule"] == "r")
+        assert rule["baseline"] == pytest.approx(40.0)
+        assert rule["firing"] is True
+
+    def test_ewma_rise_fires_on_spike(self):
+        engine = AlertEngine(rules=[
+            AlertRule(name="r", field="wall_seconds", kind="ewma_rise",
+                      factor=3.0, min_samples=2),
+        ])
+        records = [_record(t) for t in (1, 2, 3)]
+        records.append({**_record(4), "wall_seconds": 0.5})
+        events = []
+        for record in records:
+            events.extend(engine.observe_epoch(record))
+        assert [e["action"] for e in events] == ["fired"]
+
+
+# ----------------------------------------------------------------------
+# surfacing: metrics, summary, JSONL, /alerts
+# ----------------------------------------------------------------------
+class TestSurfacing:
+    def _engine(self, writer=None):
+        return AlertEngine(
+            rules=[
+                AlertRule(name="surge", field="accuracy.x", kind="above",
+                          threshold=0.0, severity="critical", min_samples=1),
+            ],
+            writer=writer,
+        )
+
+    def test_fired_counter_and_active_gauge(self):
+        obs.enable()
+        engine = self._engine()
+        engine.observe_epoch(_record(1, x=1.0))
+        snap = obs.snapshot()["metrics"]
+        counters = {
+            (c["name"], tuple(sorted((c.get("labels") or {}).items()))): c["value"]
+            for c in snap["counters"]
+        }
+        key = ("obs.alerts_fired",
+               (("rule", "surge"), ("severity", "critical")))
+        assert counters[key] == 1
+        gauges = {g["name"]: g["value"] for g in snap["gauges"]}
+        assert gauges["obs.alerts_active"] == 1.0
+        engine.observe_epoch(_record(2, x=0.0))
+        gauges = {g["name"]: g["value"]
+                  for g in obs.snapshot()["metrics"]["gauges"]}
+        assert gauges["obs.alerts_active"] == 0.0
+
+    def test_active_and_summary_views(self):
+        engine = self._engine()
+        assert engine.active() == []
+        engine.observe_epoch(_record(7, x=2.0))
+        active = engine.active()
+        assert len(active) == 1
+        assert active[0]["rule"] == "surge"
+        assert active[0]["since_tick"] == 7
+        summary = engine.summary()
+        assert summary["format"] == ALERTS_FORMAT
+        assert summary["version"] == ALERTS_VERSION
+        assert summary["active_count"] == 1
+
+    def test_jsonl_alert_log(self, tmp_path):
+        path = str(tmp_path / "alerts.jsonl")
+        with EpochEventWriter(path, fmt=ALERTS_FORMAT,
+                              version=ALERTS_VERSION) as writer:
+            engine = self._engine(writer=writer)
+            engine.observe_epoch(_record(1, x=1.0))
+            engine.observe_epoch(_record(2, x=0.0))
+        header, events = read_events(path, fmt=ALERTS_FORMAT)
+        assert header["version"] == ALERTS_VERSION
+        assert [(e["action"], e["rule"]) for e in events] == [
+            ("fired", "surge"), ("resolved", "surge"),
+        ]
+        assert events[0]["severity"] == "critical"
+
+    def test_alerts_endpoint_serves_summary(self):
+        engine = self._engine()
+        engine.observe_epoch(_record(1, x=5.0))
+        server = MetricsServer(
+            snapshot_provider=obs.snapshot,
+            alerts_provider=engine.summary,
+        )
+        with server:
+            with urllib.request.urlopen(server.url("/alerts"), timeout=5) as r:
+                payload = json.loads(r.read())
+        assert payload["active_count"] == 1
+        assert payload["rules"][0]["rule"] == "surge"
+
+
+# ----------------------------------------------------------------------
+# the acceptance scenario: a reader outage must trip ess_collapse
+# ----------------------------------------------------------------------
+class TestReaderOutage:
+    def test_outage_fires_ess_collapse_through_all_channels(self, tmp_path):
+        """25 healthy seconds, 55 s of dead readers, then recovery.
+
+        While the readers are down the dispersing particle clouds get no
+        corrections; on the first readings after recovery the clouds are
+        inconsistent with the observations, ESS collapses (depletion
+        records ESS 1.0), and the built-in ``ess_collapse`` rule must
+        fire — surfacing via the JSONL alert log, the labeled
+        ``obs.alerts_fired`` counter, and the ``/alerts`` endpoint.
+        """
+        from repro.config import DEFAULT_CONFIG
+        from repro.obs.events import EpochEventRecorder
+        from repro.service import ReplaySource, TrackingService
+        from repro.service.ingest import ReadingBatch
+        from repro.sim import Simulation
+
+        config = DEFAULT_CONFIG.with_overrides(seed=7, num_objects=3)
+        sim = Simulation(config, build_symbolic=False)
+        healthy = []
+        for _ in range(25):
+            healthy.extend(sim.step())
+        for _ in range(55):
+            sim.step()  # the world keeps moving; the readers see nothing
+        recovered = []
+        for _ in range(8):
+            recovered.extend(sim.step())
+
+        obs.enable()
+        alert_log = str(tmp_path / "alerts.jsonl")
+        writer = EpochEventWriter(alert_log, fmt=ALERTS_FORMAT,
+                                  version=ALERTS_VERSION)
+        engine = AlertEngine(writer=writer)
+        service = TrackingService(config, seed=7)
+        recorder = EpochEventRecorder(None, obs.registry())
+        transitions = []
+        tick = 0
+
+        def feed(batch):
+            nonlocal tick
+            service.process_batch(batch)
+            tick += 1
+            record = recorder.record_epoch(
+                second=batch.second, tick=tick, wall_seconds=0.0
+            )
+            transitions.extend(engine.observe_epoch(record))
+
+        for batch in ReplaySource(healthy).batches():
+            feed(batch)
+        healthy_ticks = tick
+        outage_start = service.last_second + 1
+        for second in range(outage_start, outage_start + 55):
+            feed(ReadingBatch(second=second, readings=()))
+        for batch in ReplaySource(recovered).batches():
+            feed(batch)
+        service.close()
+        writer.close()
+
+        fired = [e for e in transitions if e["action"] == "fired"]
+        ess_fired = [e for e in fired if e["rule"] == "ess_collapse"]
+        assert ess_fired, "reader outage did not trip ess_collapse"
+        # It fired on recovery, not on cold-start noise.
+        assert all(e["tick"] > healthy_ticks for e in ess_fired)
+        assert ess_fired[0]["value"] < 0.5 * ess_fired[0]["baseline"]
+        # The dead readers also deplete the clouds outright.
+        assert any(e["rule"] == "depletion_surge" for e in fired)
+
+        # Channel 1: the JSONL alert log.
+        header, logged = read_events(alert_log, fmt=ALERTS_FORMAT)
+        assert header["format"] == ALERTS_FORMAT
+        assert any(
+            e["rule"] == "ess_collapse" and e["action"] == "fired"
+            for e in logged
+        )
+
+        # Channel 2: the labeled metrics counter.
+        counters = obs.snapshot()["metrics"]["counters"]
+        ess_counts = [
+            c["value"] for c in counters
+            if c["name"] == "obs.alerts_fired"
+            and (c.get("labels") or {}).get("rule") == "ess_collapse"
+        ]
+        assert ess_counts and ess_counts[0] >= 1
+        assert (
+            next(
+                (c.get("labels") or {}).get("severity") for c in counters
+                if c["name"] == "obs.alerts_fired"
+                and (c.get("labels") or {}).get("rule") == "ess_collapse"
+            )
+            == "critical"
+        )
+
+        # Channel 3: the /alerts endpoint.
+        server = MetricsServer(
+            snapshot_provider=obs.snapshot,
+            alerts_provider=engine.summary,
+        )
+        with server:
+            with urllib.request.urlopen(server.url("/alerts"), timeout=5) as r:
+                payload = json.loads(r.read())
+        ess_rule = next(
+            r for r in payload["rules"] if r["rule"] == "ess_collapse"
+        )
+        assert ess_rule["fired_count"] >= 1

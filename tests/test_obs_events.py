@@ -67,6 +67,80 @@ class TestEventWriter:
 
 
 # ----------------------------------------------------------------------
+# rotation
+# ----------------------------------------------------------------------
+class TestRotation:
+    def _fill(self, writer, n, start=0):
+        for index in range(start, start + n):
+            writer.write({"tick": index, "pad": "x" * 40})
+
+    def test_rotates_at_byte_threshold(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        writer = EpochEventWriter(str(path), rotate_bytes=300)
+        self._fill(writer, 20)
+        writer.close()
+        assert writer.rotations >= 1
+        assert (tmp_path / "events.jsonl.1").exists()
+        # Live file still starts with a header and stays under-ish the cap
+        # (rotation happens before the write that would exceed it).
+        header, records = read_events(str(path))
+        assert header["format"] == EVENTS_FORMAT
+        assert records  # newest records live in the unsuffixed file
+
+    def test_generations_shift_and_keep_n_prunes(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        writer = EpochEventWriter(str(path), rotate_bytes=150, keep=2)
+        self._fill(writer, 40)
+        writer.close()
+        assert writer.rotations > 2
+        assert (tmp_path / "events.jsonl.1").exists()
+        assert (tmp_path / "events.jsonl.2").exists()
+        assert not (tmp_path / "events.jsonl.3").exists()
+
+    def test_every_generation_has_a_header(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        writer = EpochEventWriter(str(path), rotate_bytes=200, keep=3)
+        self._fill(writer, 30)
+        writer.close()
+        generations = [str(path)] + [
+            str(tmp_path / f"events.jsonl.{i}")
+            for i in range(1, 4)
+            if (tmp_path / f"events.jsonl.{i}").exists()
+        ]
+        assert len(generations) >= 2
+        all_ticks = []
+        for generation in generations:
+            header, records = read_events(generation)
+            assert header == {
+                "format": EVENTS_FORMAT, "version": EVENTS_VERSION,
+            }
+            all_ticks.extend(r["tick"] for r in records)
+        # Newer generations hold newer ticks; nothing retained twice.
+        assert len(all_ticks) == len(set(all_ticks))
+        assert max(all_ticks) == 29
+
+    def test_rotate_mb_converts_to_bytes(self, tmp_path):
+        writer = EpochEventWriter(
+            str(tmp_path / "e.jsonl"), rotate_mb=1.0
+        )
+        assert writer.rotate_bytes == 1024 * 1024
+        writer.close()
+
+    def test_no_rotation_without_limit(self, tmp_path):
+        writer = EpochEventWriter(str(tmp_path / "e.jsonl"))
+        self._fill(writer, 50)
+        writer.close()
+        assert writer.rotations == 0
+        assert not (tmp_path / "e.jsonl.1").exists()
+
+    def test_rejects_bad_rotation_config(self, tmp_path):
+        with pytest.raises(ValueError):
+            EpochEventWriter(str(tmp_path / "a.jsonl"), rotate_bytes=0)
+        with pytest.raises(ValueError):
+            EpochEventWriter(str(tmp_path / "b.jsonl"), keep=0)
+
+
+# ----------------------------------------------------------------------
 # per-epoch deltas
 # ----------------------------------------------------------------------
 class TestEventRecorder:
@@ -128,6 +202,46 @@ class TestEventRecorder:
         assert records[0]["phases"]["filter.predict"] == pytest.approx(1.0)
         assert records[0]["shards"]["0"] == pytest.approx(1.0)
         assert records[0]["wall_seconds"] == 0.5
+
+    def test_writerless_recorder_still_returns_records(self):
+        obs.enable()
+        recorder = EpochEventRecorder(None, obs.registry())
+        obs.add("cache.hits", 2)
+        record = recorder.record_epoch(second=1, tick=1, wall_seconds=0.1)
+        assert record["cache"]["hits"] == 2
+        # Baseline still rolls forward without a sink.
+        record = recorder.record_epoch(second=2, tick=2, wall_seconds=0.1)
+        assert record["cache"]["hits"] == 0
+
+    def test_ess_collapse_frac(self):
+        obs.enable()
+        recorder = EpochEventRecorder(None, obs.registry())
+        obs.observe("filter.ess", 40.0)
+        obs.observe("filter.ess", 1.0)
+        obs.add("filter.ess_collapses")
+        record = recorder.record_epoch(second=1, tick=1, wall_seconds=0.1)
+        assert record["accuracy"]["ess_collapse_frac"] == pytest.approx(0.5)
+        record = recorder.record_epoch(second=2, tick=2, wall_seconds=0.1)
+        assert record["accuracy"]["ess_collapse_frac"] is None
+
+    def test_accuracy_provider_fields_merged(self, tmp_path):
+        obs.enable()
+        writer = EpochEventWriter(str(tmp_path / "e.jsonl"))
+        recorder = EpochEventRecorder(
+            writer,
+            obs.registry(),
+            accuracy_provider=lambda: {
+                "occupancy_error_mean": 0.25,
+                "occupancy_rooms_compared": 6,
+            },
+        )
+        recorder.record_epoch(second=1, tick=1, wall_seconds=0.1)
+        writer.close()
+        _, records = read_events(str(writer.path))
+        accuracy = records[0]["accuracy"]
+        assert accuracy["occupancy_error_mean"] == 0.25
+        assert accuracy["occupancy_rooms_compared"] == 6
+        assert "ess_mean" in accuracy  # built-ins are not displaced
 
 
 # ----------------------------------------------------------------------

@@ -120,7 +120,12 @@ class TestMetricsServer:
         with server:
             status, _, body = _get(server.url("/healthz"))
             assert status == 200
-            assert json.loads(body) == {"status": "ok", "ticks": 5}
+            payload = json.loads(body)
+            assert payload["status"] == "ok"
+            assert payload["ticks"] == 5
+            # every health payload identifies the running build
+            assert payload["build"]["version"]
+            assert payload["build"]["python"]
             health["status"] = "stalled"
             try:
                 status, _, body = _get(server.url("/healthz"))
