@@ -70,6 +70,7 @@ class ClockRule:
             "repro/cache",
             "repro/queries",
             "repro/obs",
+            "repro/analytics",
         ),
         exempt=(
             "repro/service/scheduler.py",

@@ -65,6 +65,7 @@ class DeterminismRule:
             "repro/service",
             "repro/sim",
             "repro/obs",
+            "repro/analytics",
         ),
         exempt=(),
     )

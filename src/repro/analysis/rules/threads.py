@@ -144,6 +144,7 @@ class ThreadSafetyRule:
             "repro/collector",
             "repro/obs",
             "repro/index",
+            "repro/analytics",
         ),
         exempt=(),
     )

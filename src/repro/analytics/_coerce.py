@@ -1,0 +1,39 @@
+"""Runtime coercion helpers for restoring JSON-decoded payloads.
+
+Checkpoint envelopes and event-log records arrive as
+``Mapping[str, object]``; these helpers narrow individual values back to
+concrete types with a loud ``TypeError`` on shape drift, instead of
+scattering ``type: ignore`` pragmas over every restore path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping
+
+
+def as_int(value: object) -> int:
+    """Narrow ``value`` to ``int`` (bools are rejected — JSON ``true`` is not a count)."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"expected int, got {type(value).__name__}")
+    return value
+
+
+def as_float(value: object) -> float:
+    """Narrow ``value`` to ``float``, accepting JSON integers."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"expected number, got {type(value).__name__}")
+    return float(value)
+
+
+def as_map(value: object) -> Mapping[Any, Any]:
+    """Narrow ``value`` to a mapping."""
+    if not isinstance(value, Mapping):
+        raise TypeError(f"expected mapping, got {type(value).__name__}")
+    return value
+
+
+def as_list(value: object) -> List[Any]:
+    """Narrow ``value`` to a list."""
+    if not isinstance(value, list):
+        raise TypeError(f"expected list, got {type(value).__name__}")
+    return value

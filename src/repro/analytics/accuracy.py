@@ -1,0 +1,136 @@
+"""Analytics accuracy against simulator ground truth.
+
+The simulator knows where every object *really* is, so the same
+aggregate definitions the engine maintains over the belief state can be
+computed over the truth: :class:`TruthTracker` follows true positions
+through the same region model (first containing room, else the hallway
+bucket) and accumulates true flows and true dwell histograms;
+:func:`accuracy_summary` then scores the engine against it —
+
+* **occupancy MAE** — mean absolute error between expected and true
+  per-region counts at the latest epoch;
+* **flow-count error** — summed absolute per-edge gap between estimated
+  and true cumulative transition counts;
+* **dwell-distribution distance** — total-variation distance between
+  estimated and true dwell histograms, averaged over regions either
+  side observed.
+
+This is the per-scenario evaluation methodology of the experiments
+pipeline applied to aggregates instead of query answers; EXPERIMENTS.md
+tabulates the results per scenario.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.analytics.engine import AnalyticsEngine, flow_key
+from repro.analytics.regions import HALLWAYS
+from repro.analytics.streaming import DEFAULT_DWELL_EDGES, StreamingHistogram
+from repro.floorplan.plan import FloorPlan
+from repro.geometry import Point
+from repro.sim.ground_truth import true_room_counts
+
+
+class TruthTracker:
+    """True occupancy/flow/dwell aggregates from simulator positions.
+
+    Call :meth:`observe` once per epoch with the simulator's true
+    positions (``Simulation.true_positions()``); the tracker applies the
+    same modal-transition and dwell-completion rules the engine applies
+    to belief mass, but to certainties.
+    """
+
+    def __init__(
+        self,
+        plan: FloorPlan,
+        dwell_edges: Sequence[float] = DEFAULT_DWELL_EDGES,
+    ) -> None:
+        self.plan = plan
+        self.dwell_edges = tuple(float(e) for e in dwell_edges)
+        self.counts: Dict[str, float] = {
+            room.room_id: 0.0 for room in plan.rooms
+        }
+        self.counts[HALLWAYS] = 0.0
+        self.flows: Dict[str, int] = {}
+        self.dwell_region: Dict[str, StreamingHistogram] = {}
+        self._region: Dict[str, str] = {}
+        self._since: Dict[str, int] = {}
+        self.epochs = 0
+        self.flow_events = 0
+
+    def _region_of(self, position: Point) -> str:
+        for room in self.plan.rooms:
+            if room.contains(position):
+                return room.room_id
+        return HALLWAYS
+
+    def observe(self, second: int, positions: Mapping[str, Point]) -> None:
+        """Fold one epoch of true positions into the true aggregates."""
+        self.counts = true_room_counts(self.plan, positions)
+        for object_id in sorted(set(self._region) - set(positions)):
+            old_region = self._region.pop(object_id)
+            self._close_dwell(old_region, second - self._since.pop(object_id))
+        for object_id in sorted(positions):
+            new_region = self._region_of(positions[object_id])
+            old_region = self._region.get(object_id)
+            if old_region is None:
+                self._since[object_id] = second
+            elif old_region != new_region:
+                self._close_dwell(old_region, second - self._since[object_id])
+                key = flow_key(old_region, new_region)
+                self.flows[key] = self.flows.get(key, 0) + 1
+                self._since[object_id] = second
+                self.flow_events += 1
+            self._region[object_id] = new_region
+        self.epochs += 1
+
+    def _close_dwell(self, region: str, seconds: int) -> None:
+        if region not in self.dwell_region:
+            self.dwell_region[region] = StreamingHistogram(self.dwell_edges)
+        self.dwell_region[region].add(float(seconds))
+
+
+def accuracy_summary(
+    engine: AnalyticsEngine, truth: TruthTracker
+) -> Dict[str, object]:
+    """Score the engine's aggregates against tracked ground truth."""
+    regions = engine.region_map.regions
+    occupancy_errors = [
+        abs(engine.occupancy_of(region)[0] - truth.counts.get(region, 0.0))
+        for region in regions
+    ]
+    occupancy_mae = (
+        sum(occupancy_errors) / len(occupancy_errors)
+        if occupancy_errors
+        else 0.0
+    )
+    estimated_flows = engine.flow_counts()
+    edges = sorted(set(estimated_flows) | set(truth.flows))
+    flow_error = sum(
+        abs(estimated_flows.get(edge, 0) - truth.flows.get(edge, 0))
+        for edge in edges
+    )
+    distances: Dict[str, float] = {}
+    empty = StreamingHistogram(engine.dwell_edges)
+    for region in sorted(
+        set(truth.dwell_region)
+        | {r for r in regions if engine.dwell_histogram(r) is not None}
+    ):
+        estimated = engine.dwell_histogram(region) or empty
+        actual = truth.dwell_region.get(region, empty)
+        distances[region] = round(estimated.distance(actual), 9)
+    dwell_distance: Optional[float] = (
+        round(sum(distances.values()) / len(distances), 9)
+        if distances
+        else None
+    )
+    return {
+        "occupancy_mae": round(occupancy_mae, 9),
+        "flow_count_error": flow_error,
+        "flow_events_estimated": engine.flow_events,
+        "flow_events_true": truth.flow_events,
+        "dwell_distance_mean": dwell_distance,
+        "dwell_distance": distances,
+        "epochs": engine.epochs,
+    }

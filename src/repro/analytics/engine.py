@@ -1,0 +1,593 @@
+"""The incremental analytics engine.
+
+:class:`AnalyticsEngine` subscribes to the per-epoch snapshots a
+:class:`~repro.service.tracking.TrackingService` publishes (or an
+offline replay of them) and maintains every aggregate **from deltas**:
+
+* **occupancy** — per-region expected object count plus variance, from
+  posterior room-membership mass (expected counts are additive over
+  objects; variance is the Poisson-binomial ``Σ m·(1-m)``);
+* **flow** — enter/leave counts per region and per directed room edge,
+  from modal-region transitions;
+* **dwell** — per-region and per-object streaming histograms of
+  completed stays (no per-epoch rescan of history);
+* **density heatmap** — expected mass per anchor point of the walking
+  graph, updated by subtracting an object's previous posterior and
+  adding its new one;
+* **top-k busiest regions** — a monotone lazy heap updated from region
+  deltas.
+
+Per epoch the engine touches only the objects whose posterior changed
+(one sparse pass per changed object); nothing is ever recomputed from
+the full table. The full-recompute definitions live in
+:meth:`recompute_from` / :meth:`self_check` — the assert-able
+equivalence path the tests (and the ``analytics_replay`` bench) hold the
+incremental path against, exact within ``1e-6`` absolute (float
+summation order is the only difference).
+
+The engine is driven from the service's scheduler thread, like the
+standing-query sessions; it draws no randomness and reads no clock
+(epoch ``second`` values come from the snapshots), so attaching it
+cannot perturb replay results.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+import repro.obs as obs
+from repro.analytics._coerce import as_float, as_int, as_list, as_map
+from repro.analytics.regions import RegionMap
+from repro.analytics.streaming import (
+    DEFAULT_DWELL_EDGES,
+    LazyTopK,
+    StreamingHistogram,
+)
+from repro.floorplan.plan import FloorPlan
+from repro.graph.anchors import AnchorIndex
+from repro.index.hashtable import AnchorObjectTable
+
+if TYPE_CHECKING:
+    from repro.queries.density import ZoneDensity
+
+#: Analytics checkpoint state version (carried inside the service's v2
+#: checkpoint envelope).
+ANALYTICS_STATE_VERSION = 1
+
+#: Absolute float tolerance of the incremental-vs-recompute equivalence
+#: guarantee. Incremental maintenance applies the same additions in a
+#: different order than a full refold, so the aggregates agree to well
+#: under this bound but not bit-exactly.
+RECOMPUTE_TOLERANCE = 1e-6
+
+FlowKey = str
+
+
+def flow_key(source: str, target: str) -> FlowKey:
+    """The JSON-safe key of one directed room edge."""
+    return f"{source}->{target}"
+
+
+class SnapshotLike(Protocol):
+    """The slice of a service snapshot the analytics engine reads.
+
+    :class:`~repro.service.tracking.ServiceSnapshot` satisfies this; so
+    does any replayed stand-in with the same two fields. Keeping the
+    dependency structural avoids an analytics → service import cycle.
+    """
+
+    @property
+    def second(self) -> int: ...
+
+    @property
+    def table(self) -> AnchorObjectTable: ...
+
+
+class AnalyticsEngine:
+    """Incrementally-maintained occupancy/flow/dwell analytics."""
+
+    def __init__(
+        self,
+        plan: FloorPlan,
+        anchor_index: AnchorIndex,
+        dwell_edges: Sequence[float] = DEFAULT_DWELL_EDGES,
+    ) -> None:
+        self.region_map = RegionMap(plan, anchor_index)
+        self.dwell_edges: Tuple[float, ...] = tuple(float(e) for e in dwell_edges)
+        # -- per-object state ------------------------------------------
+        self._dist: Dict[str, Dict[int, float]] = {}
+        self._mass: Dict[str, Dict[str, float]] = {}
+        self._modal: Dict[str, str] = {}
+        self._modal_since: Dict[str, int] = {}
+        # -- aggregates -------------------------------------------------
+        self._occupancy: Dict[str, float] = {
+            region: 0.0 for region in self.region_map.regions
+        }
+        self._occ_m2: Dict[str, float] = {
+            region: 0.0 for region in self.region_map.regions
+        }
+        self._density: Dict[int, float] = {}
+        self._flows: Dict[FlowKey, int] = {}
+        self._enters: Dict[str, int] = {}
+        self._leaves: Dict[str, int] = {}
+        self._dwell_region: Dict[str, StreamingHistogram] = {}
+        self._dwell_object: Dict[str, StreamingHistogram] = {}
+        self._topk = LazyTopK()
+        for region in self.region_map.regions:
+            self._topk.update(region, 0.0)
+        # -- counters ---------------------------------------------------
+        self.epochs = 0
+        self.updates = 0
+        self.flow_events = 0
+        self.first_second: Optional[int] = None
+        self.last_second: Optional[int] = None
+        self._epoch_delta: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # the write path: one call per published snapshot
+    # ------------------------------------------------------------------
+    def observe_snapshot(self, snapshot: SnapshotLike) -> Dict[str, object]:
+        """Fold one published service snapshot into every aggregate.
+
+        ``snapshot`` needs only ``.second`` and ``.table`` (the
+        :class:`~repro.service.tracking.ServiceSnapshot` shape). Returns
+        the epoch's analytics delta record (what the event log stores).
+        """
+        second = int(snapshot.second)
+        table = snapshot.table
+        if self.last_second is not None and second <= self.last_second:
+            raise ValueError(
+                f"snapshots must advance in time: got second {second} "
+                f"after {self.last_second}"
+            )
+        epoch_flows: Dict[FlowKey, int] = {}
+        epoch_dwells: List[Tuple[str, float]] = []
+        epoch_updates = 0
+        touched: Set[str] = set()
+
+        present = set(table.objects())
+        for object_id in sorted(set(self._dist) - present):
+            self._retire_object(object_id, second, epoch_dwells, touched)
+            epoch_updates += 1
+
+        for object_id in sorted(present):
+            new_dist = table.distribution_of(object_id)
+            old_dist = self._dist.get(object_id)
+            if old_dist == new_dist:
+                continue  # posterior unchanged: zero delta, zero work
+            epoch_updates += 1
+            self._apply_density_delta(old_dist, new_dist)
+            new_mass = self.region_map.fold(new_dist)
+            old_mass = self._mass.get(object_id, {})
+            for region in sorted(set(old_mass) | set(new_mass)):
+                old_m = old_mass.get(region, 0.0)
+                new_m = new_mass.get(region, 0.0)
+                self._occupancy[region] += new_m - old_m
+                self._occ_m2[region] += new_m * (1.0 - new_m) - old_m * (1.0 - old_m)
+                touched.add(region)
+            new_modal = RegionMap.modal_region(new_mass)
+            assert new_modal is not None  # present objects carry mass
+            old_modal = self._modal.get(object_id)
+            if old_modal is None:
+                self._enters[new_modal] = self._enters.get(new_modal, 0) + 1
+                self._modal_since[object_id] = second
+            elif new_modal != old_modal:
+                dwelled = float(second - self._modal_since[object_id])
+                self._record_dwell(object_id, old_modal, dwelled)
+                epoch_dwells.append((old_modal, dwelled))
+                key = flow_key(old_modal, new_modal)
+                self._flows[key] = self._flows.get(key, 0) + 1
+                epoch_flows[key] = epoch_flows.get(key, 0) + 1
+                self._leaves[old_modal] = self._leaves.get(old_modal, 0) + 1
+                self._enters[new_modal] = self._enters.get(new_modal, 0) + 1
+                self._modal_since[object_id] = second
+                self.flow_events += 1
+            self._modal[object_id] = new_modal
+            self._dist[object_id] = new_dist
+            self._mass[object_id] = new_mass
+
+        for region in sorted(touched):
+            self._topk.update(region, self._occupancy[region])
+
+        self.epochs += 1
+        self.updates += epoch_updates
+        if self.first_second is None:
+            self.first_second = second
+        self.last_second = second
+        self._epoch_delta = {
+            "occupancy": {
+                region: round(self._occupancy[region], 9)
+                for region in self.region_map.regions
+            },
+            "flows": dict(sorted(epoch_flows.items())),
+            "dwells": [[region, seconds] for region, seconds in epoch_dwells],
+            "updates": epoch_updates,
+        }
+        if obs.enabled():
+            obs.add("analytics.epochs")
+            obs.add("analytics.updates", epoch_updates)
+            if epoch_flows:
+                obs.add(
+                    "analytics.flow_events", sum(epoch_flows.values())
+                )
+            obs.gauge_set("analytics.objects_tracked", len(self._dist))
+            for region in sorted(touched):
+                obs.gauge_set(
+                    "analytics.room_occupancy",
+                    round(self._occupancy[region], 9),
+                    labels={"room": region},
+                )
+        return dict(self._epoch_delta)
+
+    def _retire_object(
+        self,
+        object_id: str,
+        second: int,
+        epoch_dwells: List[Tuple[str, float]],
+        touched: Set[str],
+    ) -> None:
+        """An object left the table: unwind its mass, close its dwell."""
+        old_dist = self._dist.pop(object_id)
+        self._apply_density_delta(old_dist, {})
+        old_mass = self._mass.pop(object_id)
+        for region, old_m in old_mass.items():
+            self._occupancy[region] -= old_m
+            self._occ_m2[region] -= old_m * (1.0 - old_m)
+            touched.add(region)
+        modal = self._modal.pop(object_id)
+        dwelled = float(second - self._modal_since.pop(object_id))
+        self._record_dwell(object_id, modal, dwelled)
+        epoch_dwells.append((modal, dwelled))
+        self._leaves[modal] = self._leaves.get(modal, 0) + 1
+
+    def _apply_density_delta(
+        self,
+        old_dist: Optional[Mapping[int, float]],
+        new_dist: Mapping[int, float],
+    ) -> None:
+        if old_dist:
+            for ap_id, probability in old_dist.items():
+                remaining = self._density.get(ap_id, 0.0) - probability
+                if remaining == 0.0:
+                    self._density.pop(ap_id, None)
+                else:
+                    self._density[ap_id] = remaining
+        for ap_id, probability in new_dist.items():
+            self._density[ap_id] = self._density.get(ap_id, 0.0) + probability
+
+    def _record_dwell(self, object_id: str, region: str, seconds: float) -> None:
+        if region not in self._dwell_region:
+            self._dwell_region[region] = StreamingHistogram(self.dwell_edges)
+        self._dwell_region[region].add(seconds)
+        if object_id not in self._dwell_object:
+            self._dwell_object[object_id] = StreamingHistogram(self.dwell_edges)
+        self._dwell_object[object_id].add(seconds)
+
+    # ------------------------------------------------------------------
+    # the read path
+    # ------------------------------------------------------------------
+    def occupancy_of(self, region: str) -> Tuple[float, float]:
+        """``(expected_count, variance)`` of one region right now."""
+        return self._occupancy.get(region, 0.0), self._occ_m2.get(region, 0.0)
+
+    def room_occupancy(self) -> Dict[str, Dict[str, float]]:
+        """Expected count and variance for every region."""
+        return {
+            region: {
+                "expected": self._occupancy[region],
+                "variance": self._occ_m2[region],
+            }
+            for region in self.region_map.regions
+        }
+
+    def top_regions(self, k: int) -> List[Tuple[str, float]]:
+        """The ``k`` busiest regions by expected count."""
+        return self._topk.top(k)
+
+    def flow_counts(self) -> Dict[FlowKey, int]:
+        """Cumulative transition counts per directed region edge."""
+        return dict(sorted(self._flows.items()))
+
+    def flow_rates(self) -> Dict[FlowKey, float]:
+        """Transitions per observed second, per directed region edge."""
+        span = self.observed_seconds()
+        if span <= 0:
+            return {key: 0.0 for key in sorted(self._flows)}
+        return {key: self._flows[key] / span for key in sorted(self._flows)}
+
+    def enter_leave_counts(self) -> Dict[str, Dict[str, int]]:
+        """Cumulative enters/leaves per region."""
+        regions = sorted(set(self._enters) | set(self._leaves))
+        return {
+            region: {
+                "enters": self._enters.get(region, 0),
+                "leaves": self._leaves.get(region, 0),
+            }
+            for region in regions
+        }
+
+    def dwell_histogram(self, region: str) -> Optional[StreamingHistogram]:
+        """Completed-dwell histogram of one region (None when empty)."""
+        return self._dwell_region.get(region)
+
+    def object_dwell_histogram(self, object_id: str) -> Optional[StreamingHistogram]:
+        """Completed-dwell histogram of one object (None when empty)."""
+        return self._dwell_object.get(object_id)
+
+    def dwell_summary(self) -> Dict[str, Dict[str, object]]:
+        """Per-region dwell stats: completed stays, mean, bucket counts."""
+        return {
+            region: {
+                "count": histogram.count,
+                "mean_seconds": round(histogram.mean(), 9),
+                "buckets": list(histogram.counts),
+            }
+            for region, histogram in sorted(self._dwell_region.items())
+        }
+
+    def heatmap(self, limit: Optional[int] = None) -> List[Tuple[int, float, float, float]]:
+        """``(ap_id, x, y, expected_mass)`` rows, densest anchors first."""
+        ranked = sorted(
+            self._density.items(), key=lambda item: (-item[1], item[0])
+        )
+        if limit is not None:
+            ranked = ranked[:limit]
+        rows: List[Tuple[int, float, float, float]] = []
+        for ap_id, mass in ranked:
+            point = self.region_map.anchor_index.anchor(ap_id).point
+            rows.append((ap_id, point.x, point.y, mass))
+        return rows
+
+    def tracked_objects(self) -> int:
+        """Objects currently contributing mass to the aggregates."""
+        return len(self._dist)
+
+    def observed_seconds(self) -> int:
+        """Width of the observed time span (0 before two epochs)."""
+        if self.first_second is None or self.last_second is None:
+            return 0
+        return self.last_second - self.first_second
+
+    def epoch_delta(self) -> Dict[str, object]:
+        """The latest epoch's analytics record (for the event log)."""
+        return dict(self._epoch_delta)
+
+    def summary(self) -> Dict[str, object]:
+        """The ``/analytics`` endpoint document."""
+        top = [
+            {"region": region, "expected": round(score, 9)}
+            for region, score in self.top_regions(5)
+        ]
+        occupancy = {
+            region: {
+                "expected": round(self._occupancy[region], 9),
+                "variance": round(max(self._occ_m2[region], 0.0), 9),
+            }
+            for region in self.region_map.regions
+        }
+        return {
+            "epochs": self.epochs,
+            "updates": self.updates,
+            "first_second": self.first_second,
+            "last_second": self.last_second,
+            "objects": self.tracked_objects(),
+            "occupancy": occupancy,
+            "top_regions": top,
+            "flows": {
+                "events": self.flow_events,
+                "edges": self.flow_counts(),
+                "rates_per_second": {
+                    key: round(value, 9)
+                    for key, value in self.flow_rates().items()
+                },
+            },
+            "enter_leave": self.enter_leave_counts(),
+            "dwell": self.dwell_summary(),
+            "heatmap_top": [
+                {
+                    "ap_id": ap_id,
+                    "x": round(x, 3),
+                    "y": round(y, 3),
+                    "mass": round(mass, 9),
+                }
+                for ap_id, x, y, mass in self.heatmap(limit=10)
+            ],
+        }
+
+    # ------------------------------------------------------------------
+    # density-query surface (what repro.queries.density shims onto)
+    # ------------------------------------------------------------------
+    def room_densities(self, top_n: int = 3) -> "List[ZoneDensity]":
+        """Per-room expected occupancy as :class:`ZoneDensity` rows.
+
+        Same result shape as :func:`repro.queries.density.room_densities`
+        but served from the maintained room-mass aggregates — no anchor
+        rescans, no per-room range queries.
+        """
+        from repro.queries.density import ZoneDensity
+
+        rows: "List[ZoneDensity]" = []
+        for region in self.region_map.room_ids():
+            members = sorted(
+                (
+                    (object_id, mass[region])
+                    for object_id, mass in self._mass.items()
+                    if region in mass
+                ),
+                key=lambda item: (-item[1], item[0]),
+            )
+            rows.append(
+                ZoneDensity(
+                    zone_id=region,
+                    expected_count=self._occupancy[region],
+                    top_objects=tuple(members[:top_n]),
+                )
+            )
+        rows.sort(key=lambda z: (-z.expected_count, z.zone_id))
+        return rows
+
+    # ------------------------------------------------------------------
+    # the recompute-equivalence path (testing / self-verification)
+    # ------------------------------------------------------------------
+    def recompute_from(
+        self, table: AnchorObjectTable
+    ) -> Tuple[Dict[str, float], Dict[str, float], Dict[int, float]]:
+        """Full refold of ``(occupancy, variance, density)`` from a table.
+
+        The naive O(table) definition the incremental path must agree
+        with (within :data:`RECOMPUTE_TOLERANCE`).
+        """
+        occupancy = {region: 0.0 for region in self.region_map.regions}
+        m2 = {region: 0.0 for region in self.region_map.regions}
+        density: Dict[int, float] = {}
+        for object_id in sorted(table.objects()):
+            distribution = table.distribution_of(object_id)
+            for ap_id, probability in distribution.items():
+                density[ap_id] = density.get(ap_id, 0.0) + probability
+            for region, mass in self.region_map.fold(distribution).items():
+                occupancy[region] += mass
+                m2[region] += mass * (1.0 - mass)
+        return occupancy, m2, density
+
+    def self_check(
+        self, table: AnchorObjectTable, tolerance: float = RECOMPUTE_TOLERANCE
+    ) -> None:
+        """Assert the incremental aggregates match a full recompute."""
+        occupancy, m2, density = self.recompute_from(table)
+        for region in self.region_map.regions:
+            gap = abs(occupancy[region] - self._occupancy[region])
+            assert gap <= tolerance, (
+                f"occupancy[{region}] drifted {gap} from recompute"
+            )
+            gap = abs(m2[region] - self._occ_m2[region])
+            assert gap <= tolerance, (
+                f"variance[{region}] drifted {gap} from recompute"
+            )
+        for ap_id in set(density) | set(self._density):
+            gap = abs(density.get(ap_id, 0.0) - self._density.get(ap_id, 0.0))
+            assert gap <= tolerance, (
+                f"density[{ap_id}] drifted {gap} from recompute"
+            )
+
+    # ------------------------------------------------------------------
+    # checkpointing (rides in the service's v2 envelope)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Everything a warm restart needs, JSON-safe; resumes bit-exact."""
+        return {
+            "state_version": ANALYTICS_STATE_VERSION,
+            "dwell_edges": list(self.dwell_edges),
+            "epochs": self.epochs,
+            "updates": self.updates,
+            "flow_events": self.flow_events,
+            "first_second": self.first_second,
+            "last_second": self.last_second,
+            "objects": {
+                object_id: {
+                    "dist": {
+                        str(ap_id): probability
+                        for ap_id, probability in sorted(
+                            self._dist[object_id].items()
+                        )
+                    },
+                    "modal": self._modal[object_id],
+                    "modal_since": self._modal_since[object_id],
+                }
+                for object_id in sorted(self._dist)
+            },
+            "occupancy": dict(sorted(self._occupancy.items())),
+            "occ_m2": dict(sorted(self._occ_m2.items())),
+            "density": {
+                str(ap_id): mass
+                for ap_id, mass in sorted(self._density.items())
+            },
+            "flows": dict(sorted(self._flows.items())),
+            "enters": dict(sorted(self._enters.items())),
+            "leaves": dict(sorted(self._leaves.items())),
+            "dwell_region": {
+                region: histogram.state_dict()
+                for region, histogram in sorted(self._dwell_region.items())
+            },
+            "dwell_object": {
+                object_id: histogram.state_dict()
+                for object_id, histogram in sorted(self._dwell_object.items())
+            },
+            "epoch_delta": dict(self._epoch_delta),
+        }
+
+    def restore_state(self, state: Mapping[str, object]) -> None:
+        """Restore from :meth:`state_dict` output (same world geometry)."""
+        version = as_int(state.get("state_version", 0))
+        if version != ANALYTICS_STATE_VERSION:
+            raise ValueError(
+                f"analytics state version {version} is not supported "
+                f"(expected {ANALYTICS_STATE_VERSION})"
+            )
+        self.dwell_edges = tuple(as_float(e) for e in as_list(state["dwell_edges"]))
+        self.epochs = as_int(state["epochs"])
+        self.updates = as_int(state["updates"])
+        self.flow_events = as_int(state["flow_events"])
+        first = state["first_second"]
+        last = state["last_second"]
+        self.first_second = None if first is None else as_int(first)
+        self.last_second = None if last is None else as_int(last)
+        self._dist.clear()
+        self._mass.clear()
+        self._modal.clear()
+        self._modal_since.clear()
+        objects = as_map(state["objects"])
+        for object_id in sorted(objects):
+            record = as_map(objects[object_id])
+            dist_state = as_map(record["dist"])
+            distribution = {
+                int(ap_id): float(dist_state[ap_id]) for ap_id in dist_state
+            }
+            self._dist[str(object_id)] = distribution
+            self._mass[str(object_id)] = self.region_map.fold(distribution)
+            self._modal[str(object_id)] = str(record["modal"])
+            self._modal_since[str(object_id)] = int(record["modal_since"])
+        occupancy = as_map(state["occupancy"])
+        occ_m2 = as_map(state["occ_m2"])
+        self._occupancy = {
+            region: float(occupancy.get(region, 0.0))
+            for region in self.region_map.regions
+        }
+        self._occ_m2 = {
+            region: float(occ_m2.get(region, 0.0))
+            for region in self.region_map.regions
+        }
+        density = as_map(state["density"])
+        self._density = {
+            int(ap_id): float(mass) for ap_id, mass in density.items()
+        }
+        flows = as_map(state["flows"])
+        enters = as_map(state["enters"])
+        leaves = as_map(state["leaves"])
+        self._flows = {str(key): int(flows[key]) for key in sorted(flows)}
+        self._enters = {str(key): int(enters[key]) for key in sorted(enters)}
+        self._leaves = {str(key): int(leaves[key]) for key in sorted(leaves)}
+        dwell_region = as_map(state["dwell_region"])
+        dwell_object = as_map(state["dwell_object"])
+        self._dwell_region = {
+            str(region): StreamingHistogram.from_state(dwell_region[region])
+            for region in sorted(dwell_region)
+        }
+        self._dwell_object = {
+            str(object_id): StreamingHistogram.from_state(dwell_object[object_id])
+            for object_id in sorted(dwell_object)
+        }
+        self._topk = LazyTopK()
+        for region in self.region_map.regions:
+            self._topk.update(region, self._occupancy[region])
+        delta = as_map(state.get("epoch_delta", {}))
+        self._epoch_delta = dict(delta)

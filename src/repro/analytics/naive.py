@@ -1,0 +1,117 @@
+"""Reference analytics by full recompute — the equivalence comparator.
+
+:class:`NaiveAnalytics` implements the same aggregate *definitions* as
+:class:`~repro.analytics.engine.AnalyticsEngine` but rebuilds everything
+from scratch on every epoch: it re-folds every object's posterior
+(changed or not), re-sums every region, re-sorts the full region list
+for top-k, and re-derives every modal region before diffing against the
+previous epoch's modal map. That makes it trivially correct and
+trivially slow — exactly what a recompute baseline should be.
+
+Uses: the incremental-vs-recompute equivalence tests hold the engine's
+aggregates against this class (exact within
+:data:`~repro.analytics.engine.RECOMPUTE_TOLERANCE`), and the
+``analytics_replay`` bench workload measures the throughput gap between
+the two on the same snapshot stream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analytics.engine import SnapshotLike
+from repro.analytics.regions import RegionMap
+from repro.analytics.streaming import DEFAULT_DWELL_EDGES, StreamingHistogram
+from repro.floorplan.plan import FloorPlan
+from repro.graph.anchors import AnchorIndex
+
+
+class NaiveAnalytics:
+    """Same aggregates as :class:`AnalyticsEngine`, recomputed per epoch."""
+
+    def __init__(
+        self,
+        plan: FloorPlan,
+        anchor_index: AnchorIndex,
+        dwell_edges: Sequence[float] = DEFAULT_DWELL_EDGES,
+    ) -> None:
+        self.region_map = RegionMap(plan, anchor_index)
+        self.dwell_edges: Tuple[float, ...] = tuple(float(e) for e in dwell_edges)
+        self.occupancy: Dict[str, float] = {
+            region: 0.0 for region in self.region_map.regions
+        }
+        self.variance: Dict[str, float] = {
+            region: 0.0 for region in self.region_map.regions
+        }
+        self.density: Dict[int, float] = {}
+        self.flows: Dict[str, int] = {}
+        self.enters: Dict[str, int] = {}
+        self.leaves: Dict[str, int] = {}
+        self.dwell_region: Dict[str, StreamingHistogram] = {}
+        self._modal: Dict[str, str] = {}
+        self._modal_since: Dict[str, int] = {}
+        self.epochs = 0
+        self.flow_events = 0
+
+    def observe_snapshot(self, snapshot: SnapshotLike) -> None:
+        """Recompute every aggregate from the full table, then diff modals."""
+        second = int(snapshot.second)
+        table = snapshot.table
+        # Full refold: every object, every epoch.
+        occupancy = {region: 0.0 for region in self.region_map.regions}
+        variance = {region: 0.0 for region in self.region_map.regions}
+        density: Dict[int, float] = {}
+        modal: Dict[str, str] = {}
+        for object_id in sorted(table.objects()):
+            distribution = table.distribution_of(object_id)
+            for ap_id, probability in distribution.items():
+                density[ap_id] = density.get(ap_id, 0.0) + probability
+            mass = self.region_map.fold(distribution)
+            for region, value in mass.items():
+                occupancy[region] += value
+                variance[region] += value * (1.0 - value)
+            region = RegionMap.modal_region(mass)
+            assert region is not None
+            modal[object_id] = region
+        # Diff the full modal map against last epoch's.
+        for object_id in sorted(set(self._modal) - set(modal)):
+            old_region = self._modal.pop(object_id)
+            self._close_dwell(old_region, second - self._modal_since.pop(object_id))
+            self.leaves[old_region] = self.leaves.get(old_region, 0) + 1
+        for object_id in sorted(modal):
+            new_region = modal[object_id]
+            old_region = self._modal.get(object_id)
+            if old_region is None:
+                self.enters[new_region] = self.enters.get(new_region, 0) + 1
+                self._modal_since[object_id] = second
+            elif old_region != new_region:
+                self._close_dwell(
+                    old_region, second - self._modal_since[object_id]
+                )
+                key = f"{old_region}->{new_region}"
+                self.flows[key] = self.flows.get(key, 0) + 1
+                self.leaves[old_region] = self.leaves.get(old_region, 0) + 1
+                self.enters[new_region] = self.enters.get(new_region, 0) + 1
+                self._modal_since[object_id] = second
+                self.flow_events += 1
+            self._modal[object_id] = new_region
+        self.occupancy = occupancy
+        self.variance = variance
+        self.density = density
+        self.epochs += 1
+
+    def _close_dwell(self, region: str, seconds: int) -> None:
+        if region not in self.dwell_region:
+            self.dwell_region[region] = StreamingHistogram(self.dwell_edges)
+        self.dwell_region[region].add(float(seconds))
+
+    def top_regions(self, k: int) -> List[Tuple[str, float]]:
+        """Top-k by re-sorting the full region list (the naive way)."""
+        ranked = sorted(
+            self.occupancy.items(), key=lambda item: (-item[1], item[0])
+        )
+        return [(region, score) for region, score in ranked[: max(k, 0)]]
+
+    def modal_of(self, object_id: str) -> Optional[str]:
+        """The object's current modal region (None when absent)."""
+        return self._modal.get(object_id)

@@ -1,0 +1,75 @@
+"""Region model: folding anchor-point posteriors into room mass.
+
+Every anchor point of the walking graph belongs to exactly one *region*:
+the room that contains it, or the shared hallway bucket
+(:data:`HALLWAYS`). Folding an object's posterior anchor distribution
+through this map yields its **room-membership mass** — the probability
+that the object is in each region — which is the quantity every
+aggregate in :mod:`repro.analytics` is built from. The fold is a single
+pass over the object's (sparse) anchor distribution; no particles, no
+geometry tests, no per-room rescans.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.floorplan.plan import FloorPlan
+from repro.graph.anchors import AnchorIndex
+
+#: The region key that pools every hallway anchor (rooms are the unit of
+#: occupancy analytics; hallways are transit space).
+HALLWAYS = "__hallways__"
+
+
+class RegionMap:
+    """Precomputed ``ap_id -> region`` lookup for one anchor index.
+
+    Built once (one pass over the anchors); every later fold is a sparse
+    dictionary walk. The region list is stable: rooms in floor-plan
+    order, then the hallway bucket.
+    """
+
+    def __init__(self, plan: FloorPlan, anchor_index: AnchorIndex) -> None:
+        self.plan = plan
+        self.anchor_index = anchor_index
+        self._region_of: Dict[int, str] = {}
+        for ap in anchor_index:
+            self._region_of[ap.ap_id] = (
+                ap.room_id if ap.room_id is not None else HALLWAYS
+            )
+        self.regions: Tuple[str, ...] = tuple(
+            [room.room_id for room in plan.rooms] + [HALLWAYS]
+        )
+        self._known = frozenset(self.regions)
+
+    def region_of(self, ap_id: int) -> str:
+        """The region containing one anchor point."""
+        return self._region_of[ap_id]
+
+    def fold(self, distribution: Mapping[int, float]) -> Dict[str, float]:
+        """Fold an anchor posterior into per-region membership mass.
+
+        Returns only regions with positive mass, keys sorted, so two
+        identical posteriors always fold to an identical dict.
+        """
+        mass: Dict[str, float] = {}
+        for ap_id, probability in distribution.items():
+            region = self._region_of[ap_id]
+            mass[region] = mass.get(region, 0.0) + probability
+        return {region: mass[region] for region in sorted(mass)}
+
+    @staticmethod
+    def modal_region(mass: Mapping[str, float]) -> Optional[str]:
+        """The region holding the most mass (ties break by region id)."""
+        best: Optional[str] = None
+        best_mass = 0.0
+        for region in sorted(mass):
+            value = mass[region]
+            if value > best_mass:
+                best, best_mass = region, value
+        return best
+
+    def room_ids(self) -> List[str]:
+        """Room regions only (the hallway bucket excluded)."""
+        return [region for region in self.regions if region != HALLWAYS]

@@ -1,0 +1,127 @@
+"""Text rendering of analytics documents for the CLI.
+
+Pure formatting: every function takes an already-computed document (the
+engine's :meth:`~repro.analytics.engine.AnalyticsEngine.summary`, a
+:func:`~repro.analytics.windows.window_report`, or an accuracy summary)
+and returns printable lines. No I/O, no recomputation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional
+
+
+def _fmt(value: object, digits: int = 3) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def render_summary(summary: Mapping[str, object]) -> str:
+    """Render an engine ``summary()`` document as a report."""
+    lines: List[str] = ["== analytics =="]
+    lines.append(
+        f"epochs={_fmt(summary.get('epochs'))} "
+        f"updates={_fmt(summary.get('updates'))} "
+        f"objects={_fmt(summary.get('objects'))} "
+        f"span=[{_fmt(summary.get('first_second'))}"
+        f"..{_fmt(summary.get('last_second'))}]"
+    )
+    occupancy = summary.get("occupancy")
+    if isinstance(occupancy, Mapping) and occupancy:
+        lines.append("-- occupancy (expected ± sd) --")
+        for region in occupancy:
+            cell = occupancy[region]
+            assert isinstance(cell, Mapping)
+            expected = float(cell.get("expected", 0.0))
+            variance = max(float(cell.get("variance", 0.0)), 0.0)
+            lines.append(
+                f"  {region:<14} {expected:8.3f} ± {variance ** 0.5:.3f}"
+            )
+    top = summary.get("top_regions")
+    if isinstance(top, list) and top:
+        ranked = ", ".join(
+            f"{row['region']}={float(row['expected']):.3f}" for row in top
+        )
+        lines.append(f"-- busiest -- {ranked}")
+    flows = summary.get("flows")
+    if isinstance(flows, Mapping):
+        edges = flows.get("edges")
+        lines.append(f"-- flows ({_fmt(flows.get('events'))} events) --")
+        if isinstance(edges, Mapping) and edges:
+            for edge in edges:
+                lines.append(f"  {edge:<28} {edges[edge]}")
+        else:
+            lines.append("  (no transitions observed)")
+    dwell = summary.get("dwell")
+    if isinstance(dwell, Mapping) and dwell:
+        lines.append("-- dwell (completed stays) --")
+        for region in dwell:
+            cell = dwell[region]
+            assert isinstance(cell, Mapping)
+            lines.append(
+                f"  {region:<14} n={_fmt(cell.get('count'))} "
+                f"mean={_fmt(cell.get('mean_seconds'), 1)}s"
+            )
+    return "\n".join(lines)
+
+
+def render_window(report: Mapping[str, object]) -> str:
+    """Render a :func:`window_report` document."""
+    window = report.get("window")
+    assert isinstance(window, Mapping)
+    lines: List[str] = [
+        f"== analytics window [{_fmt(window.get('t0'))}"
+        f"..{_fmt(window.get('t1'))}] "
+        f"({_fmt(report.get('epochs'))} epochs, seconds "
+        f"{_fmt(report.get('first_second'))}"
+        f"..{_fmt(report.get('last_second'))}) =="
+    ]
+    occupancy = report.get("occupancy")
+    if isinstance(occupancy, Mapping) and occupancy:
+        lines.append(
+            f"  {'region':<14} {'mean':>8} {'min':>8} {'max':>8} {'last':>8}"
+        )
+        for region in occupancy:
+            cell = occupancy[region]
+            assert isinstance(cell, Mapping)
+            lines.append(
+                f"  {region:<14} {_fmt(cell.get('mean')):>8}"
+                f" {_fmt(cell.get('min')):>8} {_fmt(cell.get('max')):>8}"
+                f" {_fmt(cell.get('last')):>8}"
+            )
+    else:
+        lines.append("  (no analytics epochs in window)")
+    flows = report.get("flows")
+    if isinstance(flows, Mapping) and flows:
+        lines.append("-- flows --")
+        for edge in flows:
+            lines.append(f"  {edge:<28} {flows[edge]}")
+    dwell = report.get("dwell")
+    if isinstance(dwell, Mapping) and dwell:
+        lines.append("-- dwell --")
+        for region in dwell:
+            cell = dwell[region]
+            assert isinstance(cell, Mapping)
+            lines.append(
+                f"  {region:<14} n={_fmt(cell.get('count'))} "
+                f"mean={_fmt(cell.get('mean_seconds'), 1)}s"
+            )
+    return "\n".join(lines)
+
+
+def render_accuracy(accuracy: Optional[Mapping[str, object]]) -> str:
+    """Render an :func:`accuracy_summary` document (or note its absence)."""
+    if accuracy is None:
+        return "== accuracy == (no ground truth available)"
+    lines = [
+        "== accuracy vs ground truth ==",
+        f"  occupancy MAE        {_fmt(accuracy.get('occupancy_mae'))}",
+        f"  flow-count error     {_fmt(accuracy.get('flow_count_error'))}"
+        f" (estimated {_fmt(accuracy.get('flow_events_estimated'))},"
+        f" true {_fmt(accuracy.get('flow_events_true'))})",
+        f"  dwell TV distance    {_fmt(accuracy.get('dwell_distance_mean'))}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,175 @@
+"""Historical window queries over recorded analytics epochs.
+
+A ``repro serve --events ... --analytics`` run stores the engine's
+per-epoch delta (occupancy snapshot, flow events, completed dwells) as
+the ``analytics`` section of every epoch record. These helpers replay
+those sections from a loaded event log — including rotated generations
+via :func:`repro.obs.events.read_all_events` — to answer the historical
+questions the live engine cannot: *what was room R's occupancy between
+t0 and t1*, *how many transitions crossed each edge in that window*,
+*what did the dwell distribution look like*.
+
+Window semantics: a record belongs to ``[t0, t1]`` when its epoch
+``second`` satisfies ``t0 <= second <= t1`` (inclusive on both ends;
+``None`` leaves that end open). Occupancy is a per-epoch *level*, so
+window occupancy aggregates samples (mean/min/max/last). Flows and
+dwells are per-epoch *deltas*, so window rollups sum them — replaying a
+window is just adding up its records, which is what makes reads across
+rotated generations safe: no record depends on any other.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analytics._coerce import as_int
+from repro.analytics.streaming import DEFAULT_DWELL_EDGES, StreamingHistogram
+
+
+def analytics_epochs(
+    records: Sequence[Mapping[str, object]],
+) -> List[Tuple[int, Mapping[str, object]]]:
+    """``(second, analytics_section)`` for every record that has one."""
+    epochs: List[Tuple[int, Mapping[str, object]]] = []
+    for record in records:
+        section = record.get("analytics")
+        if isinstance(section, Mapping) and "second" in record:
+            epochs.append((as_int(record["second"]), section))
+    return epochs
+
+
+def _in_window(second: int, t0: Optional[int], t1: Optional[int]) -> bool:
+    if t0 is not None and second < t0:
+        return False
+    if t1 is not None and second > t1:
+        return False
+    return True
+
+
+def occupancy_window(
+    records: Sequence[Mapping[str, object]],
+    region: str,
+    t0: Optional[int] = None,
+    t1: Optional[int] = None,
+) -> Dict[str, object]:
+    """Occupancy-level stats for one region over ``[t0, t1]``.
+
+    Returns ``samples`` (epochs seen), ``mean``/``min``/``max``/``last``
+    expected counts; the numeric fields are ``None`` when the window is
+    empty.
+    """
+    values: List[float] = []
+    for second, section in analytics_epochs(records):
+        if not _in_window(second, t0, t1):
+            continue
+        occupancy = section.get("occupancy")
+        if isinstance(occupancy, Mapping) and region in occupancy:
+            values.append(float(occupancy[region]))
+    if not values:
+        return {
+            "region": region,
+            "samples": 0,
+            "mean": None,
+            "min": None,
+            "max": None,
+            "last": None,
+        }
+    return {
+        "region": region,
+        "samples": len(values),
+        "mean": round(sum(values) / len(values), 9),
+        "min": round(min(values), 9),
+        "max": round(max(values), 9),
+        "last": round(values[-1], 9),
+    }
+
+
+def flow_window(
+    records: Sequence[Mapping[str, object]],
+    t0: Optional[int] = None,
+    t1: Optional[int] = None,
+) -> Dict[str, int]:
+    """Summed transition counts per directed edge over ``[t0, t1]``."""
+    totals: Dict[str, int] = {}
+    for second, section in analytics_epochs(records):
+        if not _in_window(second, t0, t1):
+            continue
+        flows = section.get("flows")
+        if not isinstance(flows, Mapping):
+            continue
+        for edge in flows:
+            totals[str(edge)] = totals.get(str(edge), 0) + int(flows[edge])
+    return dict(sorted(totals.items()))
+
+
+def dwell_window(
+    records: Sequence[Mapping[str, object]],
+    t0: Optional[int] = None,
+    t1: Optional[int] = None,
+    edges: Sequence[float] = DEFAULT_DWELL_EDGES,
+) -> Dict[str, StreamingHistogram]:
+    """Per-region histograms of dwells *completed* inside ``[t0, t1]``."""
+    histograms: Dict[str, StreamingHistogram] = {}
+    for second, section in analytics_epochs(records):
+        if not _in_window(second, t0, t1):
+            continue
+        dwells = section.get("dwells")
+        if not isinstance(dwells, Sequence):
+            continue
+        for entry in dwells:
+            if not isinstance(entry, Sequence) or len(entry) != 2:
+                continue
+            region = str(entry[0])
+            if region not in histograms:
+                histograms[region] = StreamingHistogram(edges)
+            histograms[region].add(float(entry[1]))
+    return {region: histograms[region] for region in sorted(histograms)}
+
+
+def window_report(
+    records: Sequence[Mapping[str, object]],
+    t0: Optional[int] = None,
+    t1: Optional[int] = None,
+    region: Optional[str] = None,
+) -> Dict[str, object]:
+    """The full window-query document the CLI renders.
+
+    With ``region`` set, occupancy covers just that region; otherwise
+    every region seen in the window is reported.
+    """
+    epochs = [
+        (second, section)
+        for second, section in analytics_epochs(records)
+        if _in_window(second, t0, t1)
+    ]
+    seconds = [second for second, _ in epochs]
+    regions: List[str] = []
+    if region is not None:
+        regions = [region]
+    else:
+        seen: Dict[str, None] = {}
+        for _, section in epochs:
+            occupancy = section.get("occupancy")
+            if isinstance(occupancy, Mapping):
+                for name in occupancy:
+                    seen[str(name)] = None
+        regions = sorted(seen)
+    dwells = dwell_window(records, t0, t1)
+    return {
+        "window": {"t0": t0, "t1": t1},
+        "epochs": len(epochs),
+        "first_second": min(seconds) if seconds else None,
+        "last_second": max(seconds) if seconds else None,
+        "occupancy": {
+            name: occupancy_window(records, name, t0, t1) for name in regions
+        },
+        "flows": flow_window(records, t0, t1),
+        "dwell": {
+            name: {
+                "count": histogram.count,
+                "mean_seconds": round(histogram.mean(), 9),
+                "buckets": list(histogram.counts),
+            }
+            for name, histogram in dwells.items()
+        },
+    }

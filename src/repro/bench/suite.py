@@ -286,11 +286,83 @@ def _bench_profiler_overhead(profile: str, seed: int) -> WorkloadResult:
     )
 
 
+def _bench_analytics_replay(profile: str, seed: int) -> WorkloadResult:
+    """Incremental analytics maintenance over a recorded snapshot stream.
+
+    Replays the same stream through both maintenance strategies: the
+    delta-maintained :class:`AnalyticsEngine` (whose time is the gated
+    ``wall_seconds``) and the full-refold :class:`NaiveAnalytics`
+    reference, which serves as an equivalence cross-check — its flow
+    tally is a gated integer counter and its occupancy must agree with
+    the engine's (checked here, loudly). The naive side's wall time is
+    machine-dependent and deliberately kept out of the exact-compare
+    work profile; run ``repro bench run --full`` locally to eyeball the
+    incremental-vs-recompute throughput gap.
+    """
+    from repro.analytics import AnalyticsEngine, NaiveAnalytics
+    from repro.service import ReplaySource, TrackingService
+    from repro.sim import Simulation
+
+    config = _profile_config(profile, seed)
+    seconds = 50 if profile == "full" else 18
+
+    sim = Simulation(config, build_symbolic=False)
+    readings = []
+    for _ in range(seconds):
+        readings.extend(sim.step())
+
+    # Record the published snapshots once, outside the timed region.
+    snapshots = []
+    with TrackingService(config, seed=seed) as service:
+        for batch in ReplaySource(readings).batches():
+            service.process_batch(batch)
+            snapshots.append(service.snapshot())
+        plan, anchors = service.plan, service.anchor_index
+
+    engine = AnalyticsEngine(plan, anchors)
+    start = time.perf_counter()
+    for snapshot in snapshots:
+        engine.observe_snapshot(snapshot)
+    elapsed = time.perf_counter() - start
+
+    naive = NaiveAnalytics(plan, anchors)
+    for snapshot in snapshots:
+        naive.observe_snapshot(snapshot)
+
+    # Equivalence is part of the workload's contract: the incremental
+    # aggregates must match both the naive replay and a full recompute
+    # of the final table (failing loudly beats a cryptic digest drift).
+    engine.self_check(snapshots[-1].table)
+    for region in engine.region_map.regions:
+        gap = abs(engine.occupancy_of(region)[0] - naive.occupancy[region])
+        if gap > 1e-6:
+            raise AssertionError(
+                f"incremental vs naive occupancy drift in {region}: {gap}"
+            )
+    occupancy = {
+        region: round(engine.occupancy_of(region)[0], 9)
+        for region in engine.region_map.regions
+    }
+    work = {
+        "epochs": engine.epochs,
+        "updates": engine.updates,
+        "flow_events": engine.flow_events,
+        "naive_flow_events": naive.flow_events,
+    }
+    return WorkloadResult(
+        name="analytics_replay",
+        wall_seconds=elapsed,
+        work=work,
+        digest=_digest(occupancy),
+    )
+
+
 _WORKLOADS: Tuple[Tuple[str, Callable[[str, int], WorkloadResult]], ...] = (
     ("filter_replay", _bench_filter_replay),
     ("service_replay", _bench_service_replay),
     ("query_eval", _bench_query_eval),
     ("profiler_overhead", _bench_profiler_overhead),
+    ("analytics_replay", _bench_analytics_replay),
 )
 
 

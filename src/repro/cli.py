@@ -27,6 +27,11 @@ Ten subcommands::
                       result file against a committed baseline
     repro lint        static-check the repo's determinism, clock, and
                       thread-safety invariants (repro.analysis)
+    repro analytics   continuous occupancy/flow/dwell analytics: run a
+                      live simulation with the engine attached (serve),
+                      answer historical window queries from a recorded
+                      event log (window), or summarize a whole log
+                      (report)
 
 ``simulate`` and ``experiment`` accept ``--trace PATH``: observability
 (:mod:`repro.obs`) is enabled for the run and the collected metrics and
@@ -244,6 +249,15 @@ def build_parser() -> argparse.ArgumentParser:
             "is on)"
         ),
     )
+    serve.add_argument(
+        "--analytics", action="store_true",
+        help=(
+            "attach the incremental analytics engine (occupancy, flows, "
+            "dwell, heatmap); adds /analytics to --metrics-port, an "
+            "'analytics' section to --events records, and checkpoints "
+            "the aggregates for bit-exact resume"
+        ),
+    )
     _add_filter_option(serve, default=None)
 
     subparsers.add_parser("demo", help="run a quick end-to-end demo")
@@ -410,6 +424,66 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print the invariant catalog and exit",
     )
+
+    analytics = subparsers.add_parser(
+        "analytics",
+        help="continuous occupancy/flow/dwell analytics over the service",
+    )
+    analytics_sub = analytics.add_subparsers(
+        dest="analytics_command", required=True
+    )
+    a_serve = analytics_sub.add_parser(
+        "serve",
+        help=(
+            "run a live simulation with the analytics engine attached; "
+            "prints the aggregate summary and accuracy vs ground truth"
+        ),
+    )
+    a_serve.add_argument("--objects", type=int, default=25)
+    a_serve.add_argument("--seconds", type=int, default=60)
+    a_serve.add_argument("--seed", type=int, default=7)
+    a_serve.add_argument(
+        "--events", metavar="JSONL",
+        help="record per-epoch analytics deltas here (window-query input)",
+    )
+    a_serve.add_argument(
+        "--out", metavar="JSON",
+        help="also write the summary + accuracy document as JSON",
+    )
+    _add_filter_option(a_serve)
+    a_window = analytics_sub.add_parser(
+        "window",
+        help=(
+            "historical window query over a recorded event log "
+            "(reads rotated generations)"
+        ),
+    )
+    a_window.add_argument(
+        "events", metavar="JSONL", help="event log from serve --events"
+    )
+    a_window.add_argument(
+        "--from", dest="t0", type=int, default=None, metavar="SECOND",
+        help="window start (inclusive; default: log start)",
+    )
+    a_window.add_argument(
+        "--to", dest="t1", type=int, default=None, metavar="SECOND",
+        help="window end (inclusive; default: log end)",
+    )
+    a_window.add_argument(
+        "--room", default=None, help="restrict occupancy to one region"
+    )
+    a_window.add_argument(
+        "--json", action="store_true", help="print the raw JSON document"
+    )
+    a_report = analytics_sub.add_parser(
+        "report", help="summarize a whole recorded event log"
+    )
+    a_report.add_argument(
+        "events", metavar="JSONL", help="event log from serve --events"
+    )
+    a_report.add_argument(
+        "--json", action="store_true", help="print the raw JSON document"
+    )
     return parser
 
 
@@ -427,6 +501,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "top": _cmd_top,
         "bench": _cmd_bench,
         "lint": _cmd_lint,
+        "analytics": _cmd_analytics,
     }[args.command]
     return handler(args)
 
@@ -838,19 +913,12 @@ def _occupancy_accuracy_provider(service, sim):
     bucket. Returned fields merge into each epoch record's ``accuracy``
     section and feed the ``occupancy_error`` drift rule.
     """
-    rooms = list(service.plan.rooms)
-    hall_key = "__hallways__"
+    from repro.sim.ground_truth import HALLWAY_REGION, true_room_counts
+
+    hall_key = HALLWAY_REGION
 
     def provider():
-        true_counts = {room.room_id: 0.0 for room in rooms}
-        true_counts[hall_key] = 0.0
-        for point in sim.true_positions().values():
-            for room in rooms:
-                if room.contains(point):
-                    true_counts[room.room_id] += 1.0
-                    break
-            else:
-                true_counts[hall_key] += 1.0
+        true_counts = true_room_counts(service.plan, sim.true_positions())
         estimated = {key: 0.0 for key in true_counts}
         table = service.snapshot().table
         for object_id in table.objects():
@@ -921,6 +989,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"second {service.last_second}, "
             f"filter {service.executor.filter_backend.name}"
         )
+        if service.analytics is not None:
+            print(
+                f"analytics resumed: {service.analytics.epochs} epochs, "
+                f"{service.analytics.updates} updates"
+            )
     else:
         config = DEFAULT_CONFIG
         if args.seed is not None:
@@ -939,6 +1012,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             seed=args.seed,
             filter_backend=args.filter_backend or DEFAULT_BACKEND,
         )
+
+    if args.analytics:
+        service.enable_analytics()
+    analytics_engine = service.analytics
 
     on_delta = None if args.quiet else lambda delta: print(_format_delta(delta))
     existing = {sub.session_id for sub in service.sessions.subscriptions()}
@@ -1006,7 +1083,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             _occupancy_accuracy_provider(service, sim) if args.live else None
         )
         event_recorder = EpochEventRecorder(
-            event_writer, obs.registry(), accuracy_provider=accuracy_provider
+            event_writer,
+            obs.registry(),
+            accuracy_provider=accuracy_provider,
+            analytics_provider=(
+                analytics_engine.epoch_delta
+                if analytics_engine is not None
+                else None
+            ),
         )
 
     scheduler = EpochScheduler(
@@ -1030,11 +1114,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             alerts_provider=(
                 alert_engine.summary if alert_engine is not None else None
             ),
+            analytics_provider=(
+                analytics_engine.summary
+                if analytics_engine is not None
+                else None
+            ),
             host=args.metrics_host,
             port=args.metrics_port,
         )
         bound = metrics_server.start()
         print(f"metrics on http://{args.metrics_host}:{bound}/metrics")
+        if analytics_engine is not None:
+            print(
+                f"analytics on http://{args.metrics_host}:{bound}/analytics"
+            )
 
     feeder.start()
     try:
@@ -1082,6 +1175,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"{len(service.sessions)} standing queries, "
         f"{delivered} deltas delivered"
     )
+    if analytics_engine is not None and analytics_engine.epochs:
+        busiest = ", ".join(
+            f"{region}={score:.2f}"
+            for region, score in analytics_engine.top_regions(3)
+        )
+        print(
+            f"analytics: {analytics_engine.epochs} epochs, "
+            f"{analytics_engine.updates} updates, "
+            f"{analytics_engine.flow_events} flow events; busiest {busiest}"
+        )
     if args.checkpoint and scheduler.checkpoints_written:
         print(f"checkpoint -> {args.checkpoint}")
     if tracing:
@@ -1122,6 +1225,144 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     print(f"\n3NN at {point}")
     print(f"  truth: {knn_truth}")
     print(f"  answers: {knn.ranked()[:5]}")
+    return 0
+
+
+def _cmd_analytics(args: argparse.Namespace) -> int:
+    return {
+        "serve": _cmd_analytics_serve,
+        "window": _cmd_analytics_window,
+        "report": _cmd_analytics_report,
+    }[args.analytics_command](args)
+
+
+def _cmd_analytics_serve(args: argparse.Namespace) -> int:
+    """Live simulation with the analytics engine attached, synchronously.
+
+    Drives the tracking service tick by tick (no feeder thread, no
+    scheduler: analytics needs nothing time-based), tracks ground truth
+    alongside, then prints the aggregate summary, the accuracy scores,
+    and the result of the incremental-vs-recompute self-check.
+    """
+    import json as _json
+
+    from repro.analytics import TruthTracker, accuracy_summary
+    from repro.analytics.report import render_accuracy, render_summary
+    from repro.service import LiveSimSource, TrackingService
+    from repro.sim import Simulation
+
+    # Enable observability for the run only (the recorder needs the
+    # registry); leave it exactly as found so later commands in the
+    # same process see a clean slate.
+    obs_session = False
+    if args.events and not obs.enabled():
+        obs.enable()
+        obs_session = True
+    config = DEFAULT_CONFIG.with_overrides(
+        seed=args.seed, num_objects=args.objects
+    )
+    with TrackingService(
+        config, seed=args.seed, filter_backend=args.filter_backend
+    ) as service:
+        engine = service.enable_analytics()
+        truth = TruthTracker(service.plan)
+        sim = Simulation(
+            service.config,
+            plan=service.plan,
+            readers=service.readers,
+            build_symbolic=False,
+        )
+        event_writer = None
+        recorder = None
+        if args.events:
+            from repro.obs.events import EpochEventRecorder, EpochEventWriter
+
+            event_writer = EpochEventWriter(args.events)
+            recorder = EpochEventRecorder(
+                event_writer,
+                obs.registry(),
+                analytics_provider=engine.epoch_delta,
+            )
+        try:
+            for tick, batch in enumerate(
+                LiveSimSource(sim, args.seconds).batches(), start=1
+            ):
+                service.process_batch(batch)
+                truth.observe(batch.second, sim.true_positions())
+                if recorder is not None:
+                    recorder.record_epoch(
+                        second=batch.second, tick=tick, wall_seconds=0.0
+                    )
+        finally:
+            if event_writer is not None:
+                event_writer.close()
+        engine.self_check(service.snapshot().table)
+        accuracy = accuracy_summary(engine, truth)
+        print(render_summary(engine.summary()))
+        print(render_accuracy(accuracy))
+        print("recompute equivalence: OK")
+        if event_writer is not None:
+            print(
+                f"event log -> {args.events} "
+                f"({event_writer.records_written} epoch records)"
+            )
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                _json.dump(
+                    {"summary": engine.summary(), "accuracy": accuracy},
+                    handle,
+                    indent=2,
+                    sort_keys=True,
+                )
+                handle.write("\n")
+            print(f"analytics document -> {args.out}")
+    if obs_session:
+        obs.disable()
+    return 0
+
+
+def _load_analytics_records(path: str):
+    from repro.obs.events import read_all_events
+
+    try:
+        _, records = read_all_events(path)
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(f"repro: error: {exc}")
+    return records
+
+
+def _cmd_analytics_window(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.analytics import window_report
+    from repro.analytics.report import render_window
+
+    records = _load_analytics_records(args.events)
+    report = window_report(records, t0=args.t0, t1=args.t1, region=args.room)
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_window(report))
+    if not report["epochs"]:
+        print(
+            "note: no analytics epochs matched — was the log recorded "
+            "with serve --analytics --events?"
+        )
+    return 0
+
+
+def _cmd_analytics_report(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.analytics import window_report
+    from repro.analytics.report import render_window
+
+    records = _load_analytics_records(args.events)
+    report = window_report(records)
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_window(report))
     return 0
 
 

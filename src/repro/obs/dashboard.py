@@ -73,10 +73,12 @@ class TopState:
         health: Optional[Mapping[str, object]] = None,
         records: Optional[Sequence[Mapping[str, object]]] = None,
         alerts: Optional[Mapping[str, object]] = None,
+        analytics: Optional[Mapping[str, object]] = None,
     ) -> None:
         self.health: Dict[str, object] = dict(health or {})
         self.records: List[Dict[str, object]] = [dict(r) for r in records or []]
         self.alerts: Dict[str, object] = dict(alerts or {})
+        self.analytics: Dict[str, object] = dict(analytics or {})
 
     @property
     def last_record(self) -> Optional[Dict[str, object]]:
@@ -118,6 +120,39 @@ def _active_alerts(alerts: Mapping[str, object]) -> List[Dict[str, object]]:
     if not isinstance(rules, list):
         return []
     return [r for r in rules if isinstance(r, dict) and r.get("firing")]
+
+
+def _analytics_lines(analytics: Mapping[str, object]) -> List[str]:
+    """The occupancy/top-k panel (graceful when data hasn't arrived)."""
+    flows = analytics.get("flows")
+    flow_events = (
+        flows.get("events") if isinstance(flows, Mapping) else None
+    )
+    lines = [
+        f"analytics  epochs={_fmt(analytics.get('epochs'))}   "
+        f"updates={_fmt(analytics.get('updates'))}   "
+        f"objects={_fmt(analytics.get('objects'))}   "
+        f"flow events={_fmt(flow_events)}"
+    ]
+    top = analytics.get("top_regions")
+    rows = [
+        row
+        for row in (top if isinstance(top, list) else [])
+        if isinstance(row, Mapping)
+        and isinstance(row.get("expected"), (int, float))
+    ]
+    if rows:
+        peak = max(float(str(row["expected"])) for row in rows)
+        for row in rows[:5]:
+            expected = float(str(row["expected"]))
+            fraction = expected / peak if peak > 0 else 0.0
+            lines.append(
+                f"  {str(row.get('region')):<14} {bar(fraction)} "
+                f"{expected:.2f}"
+            )
+    else:
+        lines.append("  (no occupancy data yet)")
+    return lines
 
 
 def render_top(state: TopState, width: int = 80) -> str:
@@ -204,6 +239,10 @@ def render_top(state: TopState, width: int = 80) -> str:
             f"last={_fmt(tail_occ[-1], 3)}"
         )
 
+    if state.analytics:
+        lines.append(rule)
+        lines.extend(_analytics_lines(state.analytics))
+
     lines.append(rule)
     firing = _active_alerts(state.alerts)
     if firing:
@@ -271,9 +310,10 @@ class HttpTopSource:
         return data if isinstance(data, dict) else None
 
     def poll(self) -> TopState:
-        """Fetch health/snapshot/alerts and fold in one delta record."""
+        """Fetch health/snapshot/alerts/analytics, fold in one delta record."""
         health = self._get_json("/healthz") or {"status": "unreachable"}
         alerts = self._get_json("/alerts") or {}
+        analytics = self._get_json("/analytics") or {}
         snapshot = self._get_json("/snapshot") or {}
         metrics = snapshot.get("metrics")
         ticks_obj = health.get("ticks")
@@ -304,7 +344,10 @@ class HttpTopSource:
         if ticks is not None:
             self._last_ticks = ticks
         return TopState(
-            health=health, records=self._records, alerts=alerts
+            health=health,
+            records=self._records,
+            alerts=alerts,
+            analytics=analytics,
         )
 
 
@@ -336,7 +379,66 @@ class EventLogTopSource:
         alerts: Dict[str, object] = {}
         if self.alerts_path is not None:
             alerts = self._fold_alerts()
-        return TopState(health=health, records=records, alerts=alerts)
+        return TopState(
+            health=health,
+            records=records,
+            alerts=alerts,
+            analytics=self._fold_analytics(records),
+        )
+
+    @staticmethod
+    def _fold_analytics(
+        records: Sequence[Mapping[str, object]],
+    ) -> Dict[str, object]:
+        """Synthesize a summary-shaped analytics dict from log records.
+
+        Occupancy comes from the latest record's ``analytics`` section
+        (it is a level, not a delta); flow events sum over the retained
+        window. Records without analytics sections yield an empty dict,
+        which renders as no panel at all.
+        """
+        sections = [
+            record["analytics"]
+            for record in records
+            if isinstance(record.get("analytics"), Mapping)
+        ]
+        if not sections:
+            return {}
+        last = sections[-1]
+        assert isinstance(last, Mapping)
+        occupancy = last.get("occupancy")
+        top: List[Dict[str, object]] = []
+        if isinstance(occupancy, Mapping):
+            ranked = sorted(
+                (
+                    (str(region), float(str(occupancy[region])))
+                    for region in occupancy
+                    if isinstance(occupancy[region], (int, float))
+                ),
+                key=lambda item: (-item[1], item[0]),
+            )
+            top = [
+                {"region": region, "expected": expected}
+                for region, expected in ranked[:5]
+            ]
+        flow_events = 0
+        for section in sections:
+            assert isinstance(section, Mapping)
+            flows = section.get("flows")
+            if isinstance(flows, Mapping):
+                flow_events += sum(
+                    int(str(flows[edge]))
+                    for edge in flows
+                    if isinstance(flows[edge], int)
+                )
+        updates = last.get("updates")
+        return {
+            "epochs": len(sections),
+            "updates": updates,
+            "objects": None,
+            "flows": {"events": flow_events},
+            "top_regions": top,
+        }
 
     def _fold_alerts(self) -> Dict[str, object]:
         """Replay fired/resolved transitions into a summary-shaped dict."""

@@ -180,6 +180,58 @@ def read_events(
     return header, records
 
 
+def generation_paths(path: str) -> List[str]:
+    """Every existing generation of a rotated event log, oldest first.
+
+    The writer shifts generations ``path.1 → path.2 → ...`` on rotation,
+    so higher suffixes are older: the returned order is
+    ``path.N, ..., path.1, path``. Generations the writer already
+    dropped (or that were deleted out-of-band) are simply absent — the
+    list only contains files that exist.
+    """
+    directory = os.path.dirname(path) or "."
+    base = os.path.basename(path)
+    rotated: List[Tuple[int, str]] = []
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        names = []
+    for name in names:
+        if not name.startswith(base + "."):
+            continue
+        suffix = name[len(base) + 1 :]
+        if suffix.isdigit():
+            rotated.append((int(suffix), os.path.join(directory, name)))
+    ordered = [p for _, p in sorted(rotated, reverse=True)]
+    if os.path.exists(path):
+        ordered.append(path)
+    return ordered
+
+
+def read_all_events(
+    path: str, fmt: str = EVENTS_FORMAT
+) -> Tuple[List[Dict[str, object]], List[Dict[str, object]]]:
+    """Load an event log *including rotated generations*, oldest first.
+
+    Every generation carries its own header line (each was opened fresh
+    by the writer) and is validated independently; a generation with a
+    bad header fails the whole read rather than silently skipping data.
+    Missing generations are tolerated — rotation drops the oldest by
+    design. Returns ``(headers, records)`` with one header per
+    generation read and all records concatenated in time order.
+    """
+    paths = generation_paths(path)
+    if not paths:
+        raise FileNotFoundError(f"{path}: no event log generations found")
+    headers: List[Dict[str, object]] = []
+    records: List[Dict[str, object]] = []
+    for generation in paths:
+        header, generation_records = read_events(generation, fmt=fmt)
+        headers.append(header)
+        records.extend(generation_records)
+    return headers, records
+
+
 class EpochEventRecorder:
     """Turns registry state into per-epoch delta records.
 
@@ -193,6 +245,11 @@ class EpochEventRecorder:
     ``accuracy_provider`` (optional) supplies extra accuracy fields per
     epoch — the live-simulation occupancy-error ground truth — merged
     into the record's ``accuracy`` section.
+
+    ``analytics_provider`` (optional) supplies the analytics engine's
+    per-epoch delta (occupancy snapshot, flow events, completed dwells)
+    as the record's ``analytics`` section — what historical window
+    queries replay from.
     """
 
     def __init__(
@@ -202,10 +259,14 @@ class EpochEventRecorder:
         accuracy_provider: Optional[
             Callable[[], Mapping[str, object]]
         ] = None,
+        analytics_provider: Optional[
+            Callable[[], Mapping[str, object]]
+        ] = None,
     ) -> None:
         self.writer = writer
         self.registry = registry
         self.accuracy_provider = accuracy_provider
+        self.analytics_provider = analytics_provider
         self._prev_counters: Dict[_SeriesKey, int] = {}
         self._prev_histograms: Dict[_SeriesKey, Tuple[int, float]] = {}
 
@@ -337,6 +398,10 @@ class EpochEventRecorder:
             assert isinstance(accuracy, dict)
             for key, value in self.accuracy_provider().items():
                 accuracy[str(key)] = value
+        if self.analytics_provider is not None:
+            analytics = self.analytics_provider()
+            if analytics:
+                record["analytics"] = dict(analytics)
         if self.writer is not None:
             self.writer.write(record)
         return record

@@ -40,6 +40,7 @@ _NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
 SnapshotProvider = Callable[[], Dict[str, object]]
 HealthProvider = Callable[[], Dict[str, object]]
 AlertsProvider = Callable[[], Dict[str, object]]
+AnalyticsProvider = Callable[[], Dict[str, object]]
 
 
 def build_info() -> Dict[str, str]:
@@ -124,7 +125,16 @@ def render_prometheus(snapshot: Mapping[str, object]) -> str:
         for item in entries:
             families.setdefault((str(item["name"]), kind), []).append(item)
 
-    info = build_info()
+    # Prefer the build recorded in the snapshot itself (set at trace
+    # write time), so `repro stats --prom` on a recorded trace reports
+    # the *producing* build, not whichever build renders it. Older
+    # traces without the key fall back to the live build.
+    recorded = snapshot.get("build")
+    info = (
+        {str(k): str(v) for k, v in recorded.items()}
+        if isinstance(recorded, Mapping)
+        else build_info()
+    )
     lines.append("# TYPE repro_build_info gauge")
     lines.append(f"repro_build_info{_label_text(info)} 1")
 
@@ -184,7 +194,10 @@ class MetricsServer:
     * ``GET /snapshot`` — the raw snapshot dict as JSON (what the
       ``repro top`` dashboard polls for per-interval deltas);
     * ``GET /alerts`` — ``alerts_provider()`` as JSON (the alert-engine
-      summary); 404 when no alert engine is wired in.
+      summary); 404 when no alert engine is wired in;
+    * ``GET /analytics`` — ``analytics_provider()`` as JSON (the
+      analytics engine's live summary: occupancy, flows, dwell, top
+      regions); 404 when no analytics engine is attached.
 
     ``port=0`` binds an ephemeral port; :meth:`start` returns the bound
     port. The server runs daemonized and is stopped with :meth:`stop`
@@ -198,6 +211,7 @@ class MetricsServer:
         health_provider: Optional[HealthProvider] = None,
         ready_provider: Optional[Callable[[], bool]] = None,
         alerts_provider: Optional[AlertsProvider] = None,
+        analytics_provider: Optional[AnalyticsProvider] = None,
         host: str = "127.0.0.1",
         port: int = 0,
     ) -> None:
@@ -205,6 +219,7 @@ class MetricsServer:
         self._health_provider = health_provider
         self._ready_provider = ready_provider
         self._alerts_provider = alerts_provider
+        self._analytics_provider = analytics_provider
         self._host = host
         self._requested_port = port
         self._server: Optional[ThreadingHTTPServer] = None
@@ -234,6 +249,7 @@ class MetricsServer:
                 self._health_provider,
                 self._ready_provider,
                 self._alerts_provider,
+                self._analytics_provider,
             )
             self._server = ThreadingHTTPServer(
                 (self._host, self._requested_port), handler
@@ -271,6 +287,7 @@ def _make_handler(
     health_provider: Optional[HealthProvider],
     ready_provider: Optional[Callable[[], bool]],
     alerts_provider: Optional[AlertsProvider] = None,
+    analytics_provider: Optional[AnalyticsProvider] = None,
 ) -> type:
     """Build the request-handler class closed over the providers."""
 
@@ -322,6 +339,13 @@ def _make_handler(
                         )
                     else:
                         self._send_json(200, dict(alerts_provider()))
+                elif path == "/analytics":
+                    if analytics_provider is None:
+                        self._send_json(
+                            404, {"error": "no analytics engine attached"}
+                        )
+                    else:
+                        self._send_json(200, dict(analytics_provider()))
                 else:
                     self._send_json(404, {"error": f"no route {path}"})
             except Exception as exc:  # pragma: no cover - provider failure

@@ -46,10 +46,15 @@ def build_snapshot(
     meta: Optional[dict] = None,
 ) -> dict:
     """Assemble the canonical snapshot dict from live instruments."""
+    from repro.obs.expo import build_info
+
     return {
         "format": TRACE_FORMAT,
         "version": TRACE_VERSION,
         "meta": dict(meta) if meta else {},
+        # Recorded at write time so offline renders (`repro stats
+        # --prom`) report the build that *produced* the trace.
+        "build": build_info(),
         "metrics": registry.snapshot(),
         "trace": tracer.snapshot(),
     }

@@ -11,14 +11,22 @@ zone).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Mapping, Optional
+from functools import lru_cache
+from typing import Dict, List, Mapping, Optional
 
+from repro.analytics.regions import RegionMap
 from repro.floorplan.plan import FloorPlan
 from repro.geometry import Rect
 from repro.graph.anchors import AnchorIndex
 from repro.index.hashtable import AnchorObjectTable
 from repro.queries.range_query import evaluate_range_query
 from repro.queries.types import RangeQuery
+
+
+@lru_cache(maxsize=8)
+def _region_map_for(plan: FloorPlan, anchor_index: AnchorIndex) -> RegionMap:
+    """One precomputed anchor→room map per (plan, index) pair."""
+    return RegionMap(plan, anchor_index)
 
 
 @dataclass(frozen=True)
@@ -64,9 +72,39 @@ def room_densities(
     table: AnchorObjectTable,
     top_n: int = 3,
 ) -> List[ZoneDensity]:
-    """Expected occupancy of every room of the plan."""
-    zones = {room.room_id: room.boundary for room in plan.rooms}
-    return zone_densities(zones, plan, anchor_index, table, top_n=top_n)
+    """Expected occupancy of every room of the plan.
+
+    Thin shim over the analytics region model
+    (:class:`repro.analytics.regions.RegionMap`): each object's posterior
+    folds through the precomputed anchor→room map in one sparse pass —
+    no per-room range query, no anchor rescans. A live
+    :class:`~repro.analytics.engine.AnalyticsEngine` serves the same
+    rows straight from its maintained aggregates without touching the
+    table at all.
+    """
+    region_map = _region_map_for(plan, anchor_index)
+    membership: Dict[str, Dict[str, float]] = {
+        room_id: {} for room_id in region_map.room_ids()
+    }
+    for object_id in sorted(table.objects()):
+        mass = region_map.fold(table.distribution_of(object_id))
+        for region, value in mass.items():
+            if region in membership and value > 0.0:
+                membership[region][object_id] = value
+    results: List[ZoneDensity] = []
+    for room_id in region_map.room_ids():
+        members = sorted(
+            membership[room_id].items(), key=lambda item: (-item[1], item[0])
+        )
+        results.append(
+            ZoneDensity(
+                zone_id=room_id,
+                expected_count=sum(membership[room_id].values()),
+                top_objects=tuple(members[:top_n]),
+            )
+        )
+    results.sort(key=lambda z: (-z.expected_count, z.zone_id))
+    return results
 
 
 def busiest_zone(

@@ -28,6 +28,8 @@ from typing import Dict, List, Optional, Sequence
 
 import repro.obs as obs
 from repro import __version__
+from repro.analytics.engine import AnalyticsEngine
+from repro.analytics.streaming import DEFAULT_DWELL_EDGES
 from repro.collector.collector import EventDrivenCollector
 from repro.config import DEFAULT_CONFIG, SimulationConfig
 from repro.floorplan.presets import paper_office_plan
@@ -122,6 +124,22 @@ class TrackingService:
         self.ticks = 0
         self.last_second: Optional[int] = None
         self._snapshot = ServiceSnapshot(second=-1, table=AnchorObjectTable())
+        self.analytics: Optional[AnalyticsEngine] = None
+
+    def enable_analytics(
+        self, dwell_edges: Sequence[float] = DEFAULT_DWELL_EDGES
+    ) -> AnalyticsEngine:
+        """Attach (or return) the standing analytics session.
+
+        Once attached, every published snapshot folds into the engine's
+        incremental aggregates on the write path, and the engine's state
+        rides inside this service's checkpoints.
+        """
+        if self.analytics is None:
+            self.analytics = AnalyticsEngine(
+                self.plan, self.anchor_index, dwell_edges=dwell_edges
+            )
+        return self.analytics
 
     # ------------------------------------------------------------------
     # write path
@@ -150,6 +168,8 @@ class TrackingService:
                 candidates=frozenset(candidates),
             )
             deltas = self.sessions.publish(batch.second, table)
+            if self.analytics is not None:
+                self.analytics.observe_snapshot(self._snapshot)
             self.ticks += 1
             self.last_second = batch.second
             if obs.enabled():
@@ -212,6 +232,11 @@ class TrackingService:
                 else None
             ),
             "sessions": self.sessions.state_dict(),
+            "analytics": (
+                self.analytics.state_dict()
+                if self.analytics is not None
+                else None
+            ),
         }
 
     def restore_state(self, state: dict) -> None:
@@ -252,6 +277,13 @@ class TrackingService:
         if state["cache"] is not None and self.executor.cache is not None:
             self.executor.cache.restore_state(state["cache"])
         self.sessions.restore_state(state["sessions"])
+        analytics_state = state.get("analytics")
+        if analytics_state is not None:
+            # A checkpointed analytics session resumes even if the new
+            # process hasn't asked for analytics yet — dropping the
+            # aggregates silently would break the bit-exact-resume
+            # guarantee.
+            self.enable_analytics().restore_state(analytics_state)
 
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -9,9 +9,15 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Set
 
+from repro.floorplan.plan import FloorPlan
 from repro.geometry import Point, Rect
 from repro.graph.location import GraphLocation
 from repro.graph.walking_graph import WalkingGraph
+
+#: Region key pooling every position outside all rooms (must match
+#: ``repro.analytics.regions.HALLWAYS``; kept literal to avoid a
+#: sim → analytics dependency).
+HALLWAY_REGION = "__hallways__"
 
 
 def true_range_result(window: Rect, positions: Mapping[str, Point]) -> Set[str]:
@@ -21,6 +27,28 @@ def true_range_result(window: Rect, positions: Mapping[str, Point]) -> Set[str]:
         for object_id, position in positions.items()
         if window.contains(position)
     }
+
+
+def true_room_counts(
+    plan: FloorPlan, positions: Mapping[str, Point]
+) -> Dict[str, float]:
+    """True object count per room, plus one pooled hallway bucket.
+
+    Each object lands in the first room (plan order) containing its true
+    position, or in :data:`HALLWAY_REGION` when no room does. Every room
+    appears in the result even at count zero, so comparisons against
+    estimated occupancy never miss an empty room.
+    """
+    counts: Dict[str, float] = {room.room_id: 0.0 for room in plan.rooms}
+    counts[HALLWAY_REGION] = 0.0
+    for _, position in sorted(positions.items()):
+        for room in plan.rooms:
+            if room.contains(position):
+                counts[room.room_id] += 1.0
+                break
+        else:
+            counts[HALLWAY_REGION] += 1.0
+    return counts
 
 
 def true_knn_result(
