@@ -1,8 +1,8 @@
-"""The per-file lint driver.
+"""The lint drivers: per-file and whole-program.
 
-Parses each module once, runs every in-scope rule over the shared parse,
-strips pragma-suppressed findings, and aggregates a :class:`LintResult`.
-Entry points:
+Per-file mode parses each module once, runs every in-scope rule over the
+shared parse, strips pragma-suppressed findings, and aggregates a
+:class:`LintResult`. Entry points:
 
 * :func:`lint_source` — lint an in-memory source under a (possibly
   virtual) path; this is what rule tests use, since scoping is decided
@@ -10,6 +10,19 @@ Entry points:
 * :func:`lint_file` — read + lint one file.
 * :func:`lint_paths` — walk files and directory trees (``*.py``,
   skipping ``__pycache__`` and hidden directories) and lint each.
+
+Whole-program mode (:func:`lint_project`, ``repro lint --project``)
+additionally builds a :class:`~repro.analysis.project.ProjectUnderCheck`
+over every file and runs the registered project rules (ARCH / SEED /
+SCHEMA / LOCKORDER) on top of the per-file set. Pragmas suppress
+project findings exactly like per-file ones — by the pragma index of
+the module each finding lands in.
+
+Full-rule-set runs also audit the pragmas themselves: a
+``# repro-lint: disable=RULE`` that suppressed nothing this run is
+reported as a ``PRAGMA`` warning (an unused exemption is a lie about
+the code). Partial runs (``--rules DET``) skip the audit, since a
+pragma for an unselected rule is trivially "unused" there.
 
 A file that fails to parse produces a single ``SYNTAX`` error finding
 rather than aborting the run — the linter must be able to report on a
@@ -20,13 +33,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, List, Sequence
+from typing import Iterable, Iterator, List, Optional, Sequence
 
 import ast
 
 from repro.analysis.findings import Finding, Severity, sort_key
-from repro.analysis.pragmas import parse_pragmas
-from repro.analysis.registry import ModuleUnderCheck, select_rules
+from repro.analysis.pragmas import PragmaIndex, parse_pragmas
+from repro.analysis.project import ProjectModule, ProjectUnderCheck
+from repro.analysis.registry import (
+    ModuleUnderCheck,
+    select_project_rules,
+    select_rules,
+)
+
+#: Rule id of the stale-suppression audit (framework-level, not a rule
+#: class: it reports on the pragma layer itself).
+PRAGMA_RULE_ID = "PRAGMA"
 
 
 @dataclass
@@ -54,44 +76,93 @@ class LintResult:
         return sum(1 for f in self.findings if f.severity is Severity.WARNING)
 
 
-def lint_source(
-    source: str,
-    path: str,
-    only: Sequence[str] = (),
-) -> LintResult:
-    """Lint one source text as if it lived at ``path``."""
-    result = LintResult(files_checked=1)
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        result.findings.append(
+def _syntax_finding(path: str, exc: SyntaxError) -> Finding:
+    return Finding(
+        rule="SYNTAX",
+        severity=Severity.ERROR,
+        path=path,
+        line=exc.lineno or 0,
+        col=exc.offset or 0,
+        message=f"could not parse: {exc.msg}",
+    )
+
+
+def unused_pragma_findings(path: str, pragmas: PragmaIndex) -> List[Finding]:
+    """One ``PRAGMA`` warning per declared suppression that matched nothing.
+
+    Only meaningful after every selected rule has run over the module
+    (and, in project mode, after the project rules too).
+    """
+    findings: List[Finding] = []
+    for kind, line, rule in pragmas.unused_declarations():
+        directive = "disable-file" if kind == "file" else "disable"
+        findings.append(
             Finding(
-                rule="SYNTAX",
-                severity=Severity.ERROR,
+                rule=PRAGMA_RULE_ID,
+                severity=Severity.WARNING,
                 path=path,
-                line=exc.lineno or 0,
-                col=exc.offset or 0,
-                message=f"could not parse: {exc.msg}",
+                line=line,
+                col=0,
+                message=(
+                    f"unused suppression pragma `{directive}={rule}`: "
+                    "it suppressed no finding; delete it"
+                ),
             )
         )
-        return result
-    lines = source.splitlines()
-    module = ModuleUnderCheck(path=path, tree=tree, source=source, lines=lines)
-    pragmas = parse_pragmas(lines)
+    return findings
+
+
+def _check_module(
+    module: ModuleUnderCheck,
+    pragmas: PragmaIndex,
+    result: LintResult,
+    only: Sequence[str],
+) -> None:
+    """Run every in-scope per-file rule over one parsed module."""
     for rule_cls in select_rules(only):
-        if not rule_cls.META.in_scope(path):
+        if not rule_cls.META.in_scope(module.path):
             continue
         for finding in rule_cls().check(module):
             if pragmas.suppresses(finding):
                 result.suppressed += 1
             else:
                 result.findings.append(finding)
+
+
+def lint_source(
+    source: str,
+    path: str,
+    only: Sequence[str] = (),
+    report_unused_pragmas: bool = False,
+) -> LintResult:
+    """Lint one source text as if it lived at ``path``."""
+    result = LintResult(files_checked=1)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        result.findings.append(_syntax_finding(path, exc))
+        return result
+    lines = source.splitlines()
+    module = ModuleUnderCheck(path=path, tree=tree, source=source, lines=lines)
+    pragmas = parse_pragmas(lines)
+    _check_module(module, pragmas, result, only)
+    if report_unused_pragmas and not only:
+        result.findings.extend(unused_pragma_findings(path, pragmas))
     return result
 
 
-def lint_file(path: str, only: Sequence[str] = ()) -> LintResult:
+def lint_file(
+    path: str,
+    only: Sequence[str] = (),
+    report_unused_pragmas: bool = False,
+) -> LintResult:
     source = Path(path).read_text(encoding="utf-8")
-    return lint_source(source, path=path, only=only)
+    return lint_source(
+        source,
+        path=path,
+        only=only,
+        report_unused_pragmas=report_unused_pragmas,
+    )
 
 
 def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
@@ -111,8 +182,69 @@ def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
 
 
 def lint_paths(paths: Iterable[str], only: Sequence[str] = ()) -> LintResult:
-    """Lint every python file under ``paths`` (files or directories)."""
+    """Lint every python file under ``paths`` (files or directories).
+
+    Full-rule-set runs (no ``only`` filter) include the stale-pragma
+    audit; filtered runs skip it.
+    """
     result = LintResult()
     for file_path in iter_python_files(paths):
-        result.extend(lint_file(file_path, only=only))
+        result.extend(
+            lint_file(file_path, only=only, report_unused_pragmas=True)
+        )
     return result
+
+
+def lint_project(
+    paths: Iterable[str],
+    only: Sequence[str] = (),
+    schema_lock_path: Optional[str] = None,
+) -> LintResult:
+    """Whole-program lint: per-file rules + cross-file project rules.
+
+    Builds one :class:`ProjectUnderCheck` over every python file under
+    ``paths``, runs the per-file rules module by module, then the
+    project rules over the shared view. Pragma suppression and the
+    stale-pragma audit both span the combined rule set, so a pragma
+    that only suppresses e.g. an ARCH finding counts as used.
+    """
+    result = LintResult()
+    file_paths = list(iter_python_files(paths))
+    project, broken = ProjectUnderCheck.from_files(
+        file_paths, schema_lock_path=schema_lock_path
+    )
+    for path, exc in broken:
+        result.findings.append(_syntax_finding(path, exc))
+    result.files_checked = len(file_paths)
+
+    modules: List[ProjectModule] = [
+        project.by_path[path] for path in file_paths if path in project.by_path
+    ]
+    for module in modules:
+        _check_module(
+            module.as_module_under_check(), module.pragmas, result, only
+        )
+    for rule_cls in select_project_rules(only):
+        for finding in rule_cls().check_project(project):
+            module = project.by_path.get(finding.path)
+            if module is not None and module.pragmas.suppresses(finding):
+                result.suppressed += 1
+            else:
+                result.findings.append(finding)
+    if not only:
+        for module in modules:
+            result.findings.extend(
+                unused_pragma_findings(module.path, module.pragmas)
+            )
+    return result
+
+
+def build_project(
+    paths: Iterable[str],
+    schema_lock_path: Optional[str] = None,
+) -> ProjectUnderCheck:
+    """The parsed whole-program view (unparseable files are skipped)."""
+    project, _ = ProjectUnderCheck.from_files(
+        list(iter_python_files(paths)), schema_lock_path=schema_lock_path
+    )
+    return project

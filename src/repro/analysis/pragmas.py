@@ -17,13 +17,22 @@ Two granularities:
 Pragmas are part of the framework (not the rules): the driver strips
 suppressed findings after every rule has run, and reports how many it
 suppressed so silent blanket pragmas show up in the summary.
+
+Every ``disable`` is also a *claim* — "a finding fires here". The index
+therefore records each declared ``(line, rule)`` pair and marks it used
+when it suppresses something; :meth:`PragmaIndex.unused_declarations`
+is what the driver's stale-pragma report (rule id ``PRAGMA``) is built
+from. A pragma that suppresses nothing is dead weight that silently
+widens the exemption surface, so full-rule-set runs flag it.
 """
 
 from __future__ import annotations
 
+import io
 import re
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, List
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
 
 from repro.analysis.findings import Finding
 
@@ -37,6 +46,11 @@ _PRAGMA_RE = re.compile(
 
 ALL = frozenset({"all"})
 
+#: One declared suppression: ``(kind, line of the pragma comment, rule id)``
+#: where kind is ``"line"`` or ``"file"``. The rule id is uppercased, or
+#: the literal ``"all"`` for blankets.
+Declaration = Tuple[str, int, str]
+
 
 def _parse_rules(raw: str) -> FrozenSet[str]:
     rules = {part.strip() for part in raw.split(",") if part.strip()}
@@ -45,28 +59,83 @@ def _parse_rules(raw: str) -> FrozenSet[str]:
     return frozenset(r.upper() for r in rules)
 
 
-@dataclass(frozen=True)
+@dataclass
 class PragmaIndex:
-    """Parsed suppressions of one module: line pragmas + file pragmas."""
+    """Parsed suppressions of one module: line pragmas + file pragmas.
+
+    Mutable only in its usage-tracking set: :meth:`suppresses` marks the
+    declarations that matched, so after a full run
+    :meth:`unused_declarations` names the pragmas that earned nothing.
+    """
 
     line_rules: Dict[int, FrozenSet[str]]
     file_rules: FrozenSet[str]
+    #: rule id (or ``"all"``) -> line the file pragma was declared on.
+    file_rule_lines: Dict[str, int] = field(default_factory=dict)
+    _used: Set[Declaration] = field(default_factory=set)
 
     def suppresses(self, finding: Finding) -> bool:
+        """Whether the finding is pragma-suppressed (and mark usage)."""
+        suppressed = False
         if self._matches(self.file_rules, finding.rule):
-            return True
-        return self._matches(self.line_rules.get(finding.line, frozenset()), finding.rule)
+            key = (
+                "all"
+                if self.file_rules is ALL or "all" in self.file_rules
+                else finding.rule
+            )
+            self._used.add(("file", self.file_rule_lines.get(key, 0), key))
+            suppressed = True
+        line_set = self.line_rules.get(finding.line, frozenset())
+        if self._matches(line_set, finding.rule):
+            key = "all" if line_set is ALL or "all" in line_set else finding.rule
+            self._used.add(("line", finding.line, key))
+            suppressed = True
+        return suppressed
+
+    def declarations(self) -> List[Declaration]:
+        """Every declared ``(kind, line, rule)`` suppression, sorted."""
+        declared: List[Declaration] = []
+        for rule in self.file_rules:
+            declared.append(("file", self.file_rule_lines.get(rule, 0), rule))
+        for line, rules in self.line_rules.items():
+            for rule in rules:
+                declared.append(("line", line, rule))
+        return sorted(declared, key=lambda d: (d[1], d[0], d[2]))
+
+    def unused_declarations(self) -> List[Declaration]:
+        """Declared suppressions that matched no finding this run."""
+        return [d for d in self.declarations() if d not in self._used]
 
     @staticmethod
     def _matches(rules: FrozenSet[str], rule_id: str) -> bool:
         return rules is ALL or "all" in rules or rule_id in rules
 
 
+def _comment_tokens(lines: List[str]) -> Iterator[Tuple[int, str]]:
+    """``(lineno, text)`` of every real comment token.
+
+    Tokenizing (rather than regex-scanning raw lines) is what keeps a
+    pragma *example inside a docstring* — like the ones in this module —
+    from registering as a declaration the stale-pragma audit then flags.
+    Unparseable tail ends (the SYNTAX finding covers those) fall back to
+    a plain line scan so broken files keep their suppressions.
+    """
+    source = "\n".join(lines)
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        for lineno, text in enumerate(lines, start=1):
+            yield lineno, text
+
+
 def parse_pragmas(lines: List[str]) -> PragmaIndex:
-    """Scan physical source lines for pragma comments (1-based line index)."""
+    """Scan a module's comment tokens for pragmas (1-based line index)."""
     line_rules: Dict[int, FrozenSet[str]] = {}
     file_rules: FrozenSet[str] = frozenset()
-    for lineno, text in enumerate(lines, start=1):
+    file_rule_lines: Dict[str, int] = {}
+    for lineno, text in _comment_tokens(lines):
         match = _PRAGMA_RE.search(text)
         if match is None:
             continue
@@ -74,6 +143,12 @@ def parse_pragmas(lines: List[str]) -> PragmaIndex:
         if match.group("kind") == "disable-file":
             if lineno <= FILE_PRAGMA_WINDOW:
                 file_rules = frozenset(file_rules | rules)
+                for rule in rules:
+                    file_rule_lines.setdefault(rule, lineno)
         else:
             line_rules[lineno] = frozenset(line_rules.get(lineno, frozenset()) | rules)
-    return PragmaIndex(line_rules=line_rules, file_rules=file_rules)
+    return PragmaIndex(
+        line_rules=line_rules,
+        file_rules=file_rules,
+        file_rule_lines=file_rule_lines,
+    )

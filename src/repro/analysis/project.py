@@ -1,0 +1,318 @@
+"""The whole-program view the cross-file rules analyze.
+
+Per-file rules see one parsed module at a time; the project rules
+(ARCH / SEED / SCHEMA / LOCKORDER) need to see *relationships* —
+imports between packages, calls between functions, state schemas spread
+over many classes. :class:`ProjectUnderCheck` is that shared view,
+built once per ``repro lint --project`` run:
+
+* every module parsed once, with its :class:`~repro.analysis.rules.common.ImportMap`
+  and :class:`~repro.analysis.pragmas.PragmaIndex` attached;
+* a dotted-name index (``src/repro/core/filter.py`` ↔
+  ``repro.core.filter``) that works on real trees and on the virtual
+  fixture paths tests use;
+* the module-level import graph, **excluding** ``if TYPE_CHECKING:``
+  blocks and function-scoped imports — those are the sanctioned seams
+  for upward references, because they create no import-time coupling;
+* a function index plus a conservative call resolver (direct names,
+  import aliases, one-hop package re-exports, ``self.method``) that the
+  SEED dataflow and the LOCKORDER graph are built on.
+
+Everything here is a *static approximation*: dynamic dispatch,
+``getattr``, and reflection are invisible to it. The rules are written
+so that imprecision makes them silent, not noisy.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path, PurePath
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.pragmas import PragmaIndex, parse_pragmas
+from repro.analysis.registry import ModuleUnderCheck
+from repro.analysis.rules.common import ImportMap, resolve_dotted
+
+#: Re-export resolution depth (``repro.filters.create_backend`` →
+#: ``repro.filters.registry.create_backend`` is one hop).
+_MAX_ALIAS_HOPS = 4
+
+
+def module_name_of(path: str) -> Tuple[str, str]:
+    """``(dotted module name, top-level package)`` of one source path.
+
+    The dotted name starts at the last ``repro`` path component, so both
+    real files (``src/repro/core/filter.py``) and virtual fixture paths
+    (``fixtures/projects/x/src/repro/core/filter.py``) resolve to
+    ``repro.core.filter``. ``__init__.py`` maps to its package; the
+    package root itself reports the pseudo-package ``<root>``. Files
+    outside any ``repro`` tree fall back to their stem.
+    """
+    parts = list(PurePath(path.replace("\\", "/")).parts)
+    try:
+        start = len(parts) - 1 - parts[::-1].index("repro")
+    except ValueError:
+        stem = PurePath(path).stem
+        return stem, stem
+    tail = parts[start:]
+    if tail[-1].endswith(".py"):
+        tail[-1] = tail[-1][:-3]
+    if tail[-1] == "__init__":
+        tail.pop()
+    name = ".".join(tail)
+    package = tail[1] if len(tail) > 1 else "<root>"
+    return name, package
+
+
+@dataclass
+class ProjectModule:
+    """One parsed module inside the project view."""
+
+    path: str
+    name: str  #: dotted module name, e.g. ``repro.core.filter``
+    package: str  #: top-level package under ``repro`` (``<root>`` for the facade)
+    tree: ast.Module
+    source: str
+    lines: List[str]
+    imports: ImportMap
+    pragmas: PragmaIndex
+
+    def as_module_under_check(self) -> ModuleUnderCheck:
+        return ModuleUnderCheck(
+            path=self.path, tree=self.tree, source=self.source, lines=self.lines
+        )
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One module-level import statement, as a graph edge."""
+
+    module: "ProjectModule"
+    target: str  #: imported dotted module path, e.g. ``repro.obs.registry``
+    node: ast.stmt
+    #: True for ``import x [as y]``, False for ``from x import y``.
+    plain_import: bool
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method definition, indexed by qualified name."""
+
+    qname: str  #: ``repro.core.filter.ParticleFilter.step``
+    module_name: str
+    cls: Optional[str]  #: enclosing class name, if a method
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    name = getattr(test, "id", None) or getattr(test, "attr", None)
+    return name == "TYPE_CHECKING"
+
+
+def _module_level_import_nodes(
+    body: Sequence[ast.stmt],
+) -> Iterator[ast.stmt]:
+    """Module-level import statements, skipping TYPE_CHECKING blocks.
+
+    Descends into plain ``if``/``try`` bodies (version guards, optional
+    dependencies) but never into function or class bodies — imports
+    there are deferred to call time, which is the sanctioned seam for
+    upward references.
+    """
+    for stmt in body:
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            yield stmt
+        elif isinstance(stmt, ast.If):
+            if _is_type_checking_test(stmt.test):
+                continue
+            yield from _module_level_import_nodes(stmt.body)
+            yield from _module_level_import_nodes(stmt.orelse)
+        elif isinstance(stmt, ast.Try):
+            yield from _module_level_import_nodes(stmt.body)
+            for handler in stmt.handlers:
+                yield from _module_level_import_nodes(handler.body)
+            yield from _module_level_import_nodes(stmt.finalbody)
+
+
+class ProjectUnderCheck:
+    """Every module of one lint run, with cross-module indexes."""
+
+    def __init__(
+        self,
+        modules: Sequence[ProjectModule],
+        schema_lock_path: Optional[str] = None,
+    ) -> None:
+        self.modules: Dict[str, ProjectModule] = {}
+        self.by_path: Dict[str, ProjectModule] = {}
+        for module in modules:
+            self.modules[module.name] = module
+            self.by_path[module.path] = module
+        self.schema_lock_path = schema_lock_path
+        self.functions: Dict[str, FunctionInfo] = {}
+        self._function_nodes: Dict[str, ast.AST] = {}
+        for module in modules:
+            self._index_functions(module)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_files(
+        cls,
+        file_paths: Sequence[str],
+        schema_lock_path: Optional[str] = None,
+    ) -> Tuple["ProjectUnderCheck", List[Tuple[str, SyntaxError]]]:
+        """Parse files into a project; returns ``(project, parse errors)``."""
+        modules: List[ProjectModule] = []
+        broken: List[Tuple[str, SyntaxError]] = []
+        for path in file_paths:
+            source = Path(path).read_text(encoding="utf-8")
+            try:
+                module = cls.parse_module(source, path)
+            except SyntaxError as exc:
+                broken.append((path, exc))
+                continue
+            modules.append(module)
+        return cls(modules, schema_lock_path=schema_lock_path), broken
+
+    @staticmethod
+    def parse_module(source: str, path: str) -> ProjectModule:
+        """Parse one source text into a :class:`ProjectModule`."""
+        tree = ast.parse(source, filename=path)
+        lines = source.splitlines()
+        name, package = module_name_of(path)
+        return ProjectModule(
+            path=path,
+            name=name,
+            package=package,
+            tree=tree,
+            source=source,
+            lines=lines,
+            imports=ImportMap(tree),
+            pragmas=parse_pragmas(lines),
+        )
+
+    def _index_functions(self, module: ProjectModule) -> None:
+        for stmt in module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(module, stmt, cls=None)
+            elif isinstance(stmt, ast.ClassDef):
+                for member in stmt.body:
+                    if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._add_function(module, member, cls=stmt.name)
+
+    def _add_function(
+        self,
+        module: ProjectModule,
+        node: ast.AST,
+        cls: Optional[str],
+    ) -> None:
+        name = getattr(node, "name", "")
+        qname = (
+            f"{module.name}.{cls}.{name}" if cls else f"{module.name}.{name}"
+        )
+        self.functions[qname] = FunctionInfo(
+            qname=qname, module_name=module.name, cls=cls
+        )
+        self._function_nodes[qname] = node
+
+    # ------------------------------------------------------------------
+    # the import graph
+    # ------------------------------------------------------------------
+    def module_level_imports(self, module: ProjectModule) -> List[ImportEdge]:
+        """Import-time edges of one module (see module docstring)."""
+        edges: List[ImportEdge] = []
+        for node in _module_level_import_nodes(module.tree.body):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    edges.append(
+                        ImportEdge(
+                            module=module,
+                            target=alias.name,
+                            node=node,
+                            plain_import=True,
+                        )
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level != 0:
+                    continue  # relative imports stay inside one package
+                edges.append(
+                    ImportEdge(
+                        module=module,
+                        target=node.module,
+                        node=node,
+                        plain_import=False,
+                    )
+                )
+        return edges
+
+    # ------------------------------------------------------------------
+    # the call graph
+    # ------------------------------------------------------------------
+    def function_node(self, qname: str) -> Optional[ast.AST]:
+        """The def node behind a qualified name (None if not indexed)."""
+        return self._function_nodes.get(qname)
+
+    def canonical_function(self, qname: str) -> Optional[str]:
+        """Resolve a dotted target through package re-exports.
+
+        ``repro.filters.create_backend`` resolves via the ``repro.filters``
+        ``__init__`` alias map to ``repro.filters.registry.create_backend``.
+        Returns an indexed function qname, or None.
+        """
+        current = qname
+        for _ in range(_MAX_ALIAS_HOPS):
+            if current in self.functions:
+                return current
+            module_part, _, attr = current.rpartition(".")
+            if not module_part:
+                return None
+            package = self.modules.get(module_part)
+            if package is None:
+                return None
+            alias = package.imports.aliases.get(attr)
+            if alias is None or alias == current:
+                return None
+            current = alias
+        return None
+
+    def resolve_call(
+        self,
+        module: ProjectModule,
+        call: ast.Call,
+        enclosing_class: Optional[str] = None,
+    ) -> Optional[str]:
+        """The qualified name of a call's target, when statically known.
+
+        Handles ``self.method()`` (within ``enclosing_class``), bare
+        names defined in the same module, import aliases, and dotted
+        paths into other project modules (including one-hop package
+        re-exports). Returns None for anything dynamic.
+        """
+        func = call.func
+        if (
+            enclosing_class is not None
+            and isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ("self", "cls")
+        ):
+            return self.canonical_function(
+                f"{module.name}.{enclosing_class}.{func.attr}"
+            )
+        dotted = resolve_dotted(func, module.imports)
+        if dotted is None:
+            return None
+        if "." not in dotted:
+            return self.canonical_function(f"{module.name}.{dotted}")
+        return self.canonical_function(dotted)
+
+    def iter_functions(
+        self,
+    ) -> Iterator[Tuple[ProjectModule, FunctionInfo, ast.AST]]:
+        """Every indexed function with its module and def node."""
+        for qname in sorted(self.functions):
+            info = self.functions[qname]
+            module = self.modules.get(info.module_name)
+            node = self._function_nodes[qname]
+            if module is not None:
+                yield module, info, node

@@ -23,7 +23,7 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import PurePath
-from typing import Dict, List, Protocol, Sequence, Tuple, Type
+from typing import TYPE_CHECKING, Dict, List, Protocol, Sequence, Tuple, Type
 
 from repro.analysis.findings import Finding, Severity
 
@@ -69,30 +69,66 @@ class ModuleUnderCheck:
 
 
 class Rule(Protocol):
-    """Structural type every registered rule satisfies."""
+    """Structural type every registered per-file rule satisfies."""
 
     META: RuleMeta
 
     def check(self, module: ModuleUnderCheck) -> List[Finding]: ...
 
 
+class ProjectRule(Protocol):
+    """Structural type of a whole-program rule (``repro lint --project``).
+
+    A project rule sees every parsed module at once — the import graph,
+    the call graph, the state-schema surface — instead of one module.
+    Scoping by ``META.applies_to`` governs where its *findings* may
+    land, not which files it reads: a project rule always reads the
+    whole project.
+    """
+
+    META: RuleMeta
+
+    def check_project(self, project: "ProjectUnderCheck") -> List[Finding]: ...
+
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.project import ProjectUnderCheck  # noqa: F401
+
+
 _REGISTRY: Dict[str, Type[Rule]] = {}
+_PROJECT_REGISTRY: Dict[str, Type[ProjectRule]] = {}
 
 
 def register_rule(cls: Type[Rule]) -> Type[Rule]:
     """Class decorator: add a rule to the global registry (id must be new)."""
     rule_id = cls.META.rule_id
-    if rule_id in _REGISTRY:
+    if rule_id in _REGISTRY or rule_id in _PROJECT_REGISTRY:
         raise ValueError(f"duplicate rule id {rule_id!r}")
     _REGISTRY[rule_id] = cls
     return cls
 
 
+def register_project_rule(cls: Type[ProjectRule]) -> Type[ProjectRule]:
+    """Class decorator: add a whole-program rule (id must be new)."""
+    rule_id = cls.META.rule_id
+    if rule_id in _REGISTRY or rule_id in _PROJECT_REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_id!r}")
+    _PROJECT_REGISTRY[rule_id] = cls
+    return cls
+
+
 def all_rules() -> List[Type[Rule]]:
-    """Every registered rule class, sorted by id (import-order independent)."""
+    """Every registered per-file rule class, sorted by id."""
     import repro.analysis.rules  # noqa: F401  (registers the built-in set)
 
     return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def all_project_rules() -> List[Type[ProjectRule]]:
+    """Every registered whole-program rule class, sorted by id."""
+    import repro.analysis.rules  # noqa: F401  (registers the built-in set)
+
+    return [_PROJECT_REGISTRY[rule_id] for rule_id in sorted(_PROJECT_REGISTRY)]
 
 
 def get_rule(rule_id: str) -> Type[Rule]:
@@ -102,18 +138,56 @@ def get_rule(rule_id: str) -> Type[Rule]:
         return _REGISTRY[rule_id]
     except KeyError:
         raise KeyError(
-            f"unknown rule {rule_id!r}; known: {', '.join(sorted(_REGISTRY))}"
+            f"unknown rule {rule_id!r}; known: {', '.join(rule_ids())}"
+        ) from None
+
+
+def get_project_rule(rule_id: str) -> Type[ProjectRule]:
+    import repro.analysis.rules  # noqa: F401
+
+    try:
+        return _PROJECT_REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown project rule {rule_id!r}; known: {', '.join(rule_ids())}"
         ) from None
 
 
 def rule_ids() -> List[str]:
+    """Every known rule id — per-file and whole-program — sorted."""
     import repro.analysis.rules  # noqa: F401
 
-    return sorted(_REGISTRY)
+    return sorted(set(_REGISTRY) | set(_PROJECT_REGISTRY))
 
 
 def select_rules(only: Sequence[str] = ()) -> List[Type[Rule]]:
-    """The rule classes to run (all, or the ``only`` subset by id)."""
+    """The per-file rule classes to run (all, or the ``only`` subset).
+
+    Ids naming project rules are silently skipped here — the project
+    driver selects those via :func:`select_project_rules`, and per-file
+    entry points must stay runnable with e.g. ``--rules DET,ARCH``.
+    """
+    import repro.analysis.rules  # noqa: F401
+
     if not only:
         return all_rules()
-    return [get_rule(rule_id) for rule_id in only]
+    selected: List[Type[Rule]] = []
+    for rule_id in only:
+        if rule_id in _PROJECT_REGISTRY:
+            continue
+        selected.append(get_rule(rule_id))
+    return selected
+
+
+def select_project_rules(only: Sequence[str] = ()) -> List[Type[ProjectRule]]:
+    """The whole-program rule classes to run (all, or the ``only`` subset)."""
+    import repro.analysis.rules  # noqa: F401
+
+    if not only:
+        return all_project_rules()
+    selected: List[Type[ProjectRule]] = []
+    for rule_id in only:
+        if rule_id in _REGISTRY:
+            continue
+        selected.append(get_project_rule(rule_id))
+    return selected

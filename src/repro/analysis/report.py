@@ -13,7 +13,7 @@ from typing import Dict, List, Optional
 
 from repro.analysis.driver import LintResult
 from repro.analysis.findings import Finding
-from repro.analysis.registry import all_rules
+from repro.analysis.registry import all_project_rules, all_rules
 
 REPORT_FORMAT = "repro-lint"
 REPORT_VERSION = 1
@@ -56,8 +56,13 @@ def to_document(
             "id": rule_cls.META.rule_id,
             "title": rule_cls.META.title,
             "invariant": rule_cls.META.invariant,
+            "scope": scope,
         }
-        for rule_cls in all_rules()
+        for scope, catalog in (
+            ("file", all_rules()),
+            ("project", all_project_rules()),
+        )
+        for rule_cls in catalog
     ]
     return {
         "format": REPORT_FORMAT,

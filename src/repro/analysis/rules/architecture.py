@@ -1,0 +1,165 @@
+"""ARCH — the package layer map is enforced at import time.
+
+The SoA filter-core refactor and the multi-process gateway (ROADMAP
+items 1 and 2) will move code across package boundaries; this rule pins
+the boundaries first. Every top-level package under ``repro`` sits in a
+numbered layer, and a module may only *module-level* import packages in
+strictly lower layers (its own package is always allowed):
+
+====  =================================
+layer  packages
+====  =================================
+0     ``<root>`` facade, ``rng``, ``config``, ``geometry``
+1     ``floorplan``
+2     ``graph``
+3     ``rfid``, ``index``, ``obs``
+4     ``io``, ``viz``, ``collector``
+5     ``core``
+6     ``filters``
+7     ``cache``
+8     ``analytics``
+9     ``queries``
+10    ``symbolic``
+11    ``sim``
+12    ``service``
+13    ``bench``, ``analysis``
+14    ``cli``
+====  =================================
+
+Only *import-time* edges are governed: imports inside ``if
+TYPE_CHECKING:`` blocks and inside function bodies are the sanctioned
+seams for upward references (annotations and call-time shims create no
+import-time coupling and no cycles). The ``repro/__init__`` facade is
+exempt — re-exporting the public API is its job.
+
+``repro.obs`` gets one extra constraint: outside the ``obs`` package
+itself it may be imported **only as its no-op facade** — ``import
+repro.obs [as alias]`` — never ``from repro.obs import x`` or ``import
+repro.obs.submodule``. The facade is what keeps observability
+off-by-default and zero-cost on hot paths; importing a submodule
+bypasses the enable/disable seam.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import RuleMeta, register_project_rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.project import ProjectModule, ProjectUnderCheck
+
+#: The declarative layer map: top-level package under ``repro`` -> layer.
+#: A module may only module-level import packages with a strictly lower
+#: layer number (same-package imports are always allowed).
+LAYERS: Dict[str, int] = {
+    "<root>": 0,
+    "rng": 0,
+    "config": 0,
+    "geometry": 0,
+    "floorplan": 1,
+    "graph": 2,
+    "rfid": 3,
+    "index": 3,
+    "obs": 3,
+    "io": 4,
+    "viz": 4,
+    "collector": 4,
+    "core": 5,
+    "filters": 6,
+    "cache": 7,
+    "analytics": 8,
+    "queries": 9,
+    "symbolic": 10,
+    "sim": 11,
+    "service": 12,
+    "bench": 13,
+    "analysis": 13,
+    "cli": 14,
+}
+
+#: Dotted module names exempt from layering (the public-API facade).
+EXEMPT_MODULES = frozenset({"repro"})
+
+
+def _target_package(target: str) -> str:
+    """Top-level package of an imported dotted path (``<root>`` for repro)."""
+    parts = target.split(".")
+    if parts[0] != "repro":
+        return ""
+    return parts[1] if len(parts) > 1 else "<root>"
+
+
+@register_project_rule
+class ArchitectureRule:
+    META = RuleMeta(
+        rule_id="ARCH",
+        title="package layer map holds at import time",
+        invariant=(
+            "module-level imports respect the declarative layer map "
+            "(lower layers never import higher ones); repro.obs is "
+            "imported only as its no-op facade"
+        ),
+        severity=Severity.ERROR,
+    )
+
+    def check_project(self, project: ProjectUnderCheck) -> List[Finding]:
+        findings: List[Finding] = []
+        for name in sorted(project.modules):
+            module = project.modules[name]
+            if module.name in EXEMPT_MODULES:
+                continue
+            findings.extend(self._check_module(project, module))
+        return findings
+
+    def _check_module(
+        self, project: ProjectUnderCheck, module: ProjectModule
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        own_layer = LAYERS.get(module.package)
+        for edge in project.module_level_imports(module):
+            target_pkg = _target_package(edge.target)
+            if not target_pkg or target_pkg == module.package:
+                continue
+            node = edge.node
+            if target_pkg == "obs" and not (
+                edge.plain_import and edge.target == "repro.obs"
+            ):
+                findings.append(
+                    Finding(
+                        rule=self.META.rule_id,
+                        severity=self.META.severity,
+                        path=module.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"`{edge.target}` bypasses the repro.obs no-op "
+                            "facade; import the package itself "
+                            "(`import repro.obs as obs`) or defer to a "
+                            "function-scoped import"
+                        ),
+                    )
+                )
+                continue
+            target_layer = LAYERS.get(target_pkg)
+            if own_layer is None or target_layer is None:
+                continue  # unmapped package: ungoverned (fixtures, new code)
+            if target_layer >= own_layer:
+                findings.append(
+                    Finding(
+                        rule=self.META.rule_id,
+                        severity=self.META.severity,
+                        path=module.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"layer violation: `{module.package}` (layer "
+                            f"{own_layer}) must not module-level import "
+                            f"`{target_pkg}` (layer {target_layer}); move "
+                            "the import into the using function or invert "
+                            "the dependency"
+                        ),
+                    )
+                )
+        return findings

@@ -1,0 +1,258 @@
+"""LOCKORDER — the project-wide lock-acquisition graph is acyclic.
+
+The per-file THR rule proves each mutation is *under a* lock; it says
+nothing about two locks taken in opposite orders from different call
+paths — the classic deadlock that only fires under a specific thread
+interleaving and never in a unit test. With the cache, the collector,
+the tracking service, and the analytics engine each holding their own
+lock, a cycle is one careless cross-call away.
+
+The rule builds one directed graph over the whole project:
+
+* **Lock identity** — a ``with <lock>`` context expression containing
+  ``lock`` / ``mutex`` (the THR convention), qualified to survive
+  cross-module comparison: ``self._lock`` in a method becomes
+  ``module.Class._lock``; a module-level name becomes ``module.NAME``.
+* **Intraprocedural edges** — ``with a: ... with b:`` adds ``a -> b``
+  with the inner ``with`` as witness.
+* **Interprocedural edges** — for each call made while holding ``a``,
+  every lock the callee's *acquires-closure* can take (computed to a
+  fixpoint through the call resolver) adds ``a -> b`` with the call
+  site as witness.
+
+Any strongly-connected component of size > 1 — equivalently any
+``a -> b -> a`` path — is a lock-order inversion. One ERROR is emitted
+per cycle, anchored at the lexicographically first witness, naming the
+locks and both acquisition sites so the report is actionable without
+re-running the analysis. Imprecision (dynamic dispatch, lambdas,
+``getattr``) drops edges, so the rule under-reports rather than crying
+wolf.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import RuleMeta, register_project_rule
+from repro.analysis.rules.common import dotted_name
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.project import ProjectModule, ProjectUnderCheck
+
+#: A witness: (path, line) of the statement that creates the edge.
+Site = Tuple[str, int]
+
+
+def _looks_like_lock(text: Optional[str]) -> bool:
+    if not text:
+        return False
+    lowered = text.lower()
+    return "lock" in lowered or "mutex" in lowered
+
+
+def _lock_identity(
+    module: ProjectModule, cls: Optional[str], expr: ast.expr
+) -> Optional[str]:
+    """Project-wide identity of a ``with`` context lock, or None.
+
+    ``self._lock`` / ``cls._lock`` in a method of ``C`` in module ``m``
+    -> ``m.C._lock``; any other dotted text -> ``m.<dotted>``. Scoping
+    by module keeps distinct same-named locks distinct; the cost is
+    that one lock reached through two aliases splits into two nodes,
+    which only ever *loses* cycles (under-report, never false cycle).
+    """
+    dotted = dotted_name(expr)
+    if not _looks_like_lock(dotted):
+        return None
+    assert dotted is not None
+    head, _, rest = dotted.partition(".")
+    if head in ("self", "cls") and cls is not None:
+        return f"{module.name}.{cls}.{rest}" if rest else None
+    return f"{module.name}.{dotted}"
+
+
+class _FunctionFacts:
+    """What one function does with locks, before interprocedural closure."""
+
+    def __init__(self) -> None:
+        #: locks this function acquires directly: lock -> first site
+        self.acquires: Dict[str, Site] = {}
+        #: nesting edges inside this body: (outer, inner) -> witness site
+        self.edges: Dict[Tuple[str, str], Site] = {}
+        #: calls made while holding locks: (callee qname, held set, site)
+        self.calls: List[Tuple[str, Tuple[str, ...], Site]] = []
+
+
+def _collect_facts(
+    project: ProjectUnderCheck,
+    module: ProjectModule,
+    cls: Optional[str],
+    func: ast.AST,
+) -> _FunctionFacts:
+    facts = _FunctionFacts()
+    stack: List[Tuple[ast.AST, Tuple[str, ...]]] = [(func, ())]
+    while stack:
+        node, held = stack.pop()
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                lock = _lock_identity(module, cls, item.context_expr)
+                if lock is None:
+                    continue
+                site = (module.path, node.lineno)
+                facts.acquires.setdefault(lock, site)
+                for outer in held:
+                    if outer != lock:
+                        facts.edges.setdefault((outer, lock), site)
+                held = held + (lock,)
+        elif isinstance(node, ast.Call):
+            qname = project.resolve_call(module, node, enclosing_class=cls)
+            if qname is not None:
+                facts.calls.append(
+                    (qname, held, (module.path, getattr(node, "lineno", 0)))
+                )
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue  # runs later, outside this with-nesting
+            stack.append((child, held))
+    return facts
+
+
+def build_lock_graph(
+    project: ProjectUnderCheck,
+) -> Dict[Tuple[str, str], Site]:
+    """Every ``outer -> inner`` acquisition edge with its witness site."""
+    facts: Dict[str, _FunctionFacts] = {}
+    for module, info, node in project.iter_functions():
+        facts[info.qname] = _collect_facts(project, module, info.cls, node)
+
+    # acquires-closure: every lock a call into qname can end up holding.
+    closure: Dict[str, Dict[str, Site]] = {
+        q: dict(f.acquires) for q, f in facts.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for qname, f in facts.items():
+            mine = closure[qname]
+            for callee, _, site in f.calls:
+                for lock in closure.get(callee, {}):
+                    if lock not in mine:
+                        mine[lock] = site
+                        changed = True
+
+    edges: Dict[Tuple[str, str], Site] = {}
+    for f in facts.values():
+        for edge, site in f.edges.items():
+            edges.setdefault(edge, site)
+        for callee, held, site in f.calls:
+            for outer in held:
+                for inner in closure.get(callee, {}):
+                    if inner != outer:
+                        edges.setdefault((outer, inner), site)
+    return edges
+
+
+def _cycles(edges: Dict[Tuple[str, str], Site]) -> List[List[str]]:
+    """Strongly-connected components of size > 1, as sorted lock lists."""
+    graph: Dict[str, Set[str]] = {}
+    for outer, inner in edges:
+        graph.setdefault(outer, set()).add(inner)
+        graph.setdefault(inner, set())
+
+    # Tarjan, iterative (the lock graph is tiny but recursion limits are
+    # a silly way for a linter to die).
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    scc_stack: List[str] = []
+    counter = [0]
+    result: List[List[str]] = []
+
+    for root in sorted(graph):
+        if root in index:
+            continue
+        work: List[Tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_i = work[-1]
+            if child_i == 0:
+                index[node] = lowlink[node] = counter[0]
+                counter[0] += 1
+                scc_stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            children = sorted(graph[node])
+            for i in range(child_i, len(children)):
+                child = children[i]
+                if child not in index:
+                    work[-1] = (node, i + 1)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: List[str] = []
+                while True:
+                    member = scc_stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    result.append(sorted(component))
+    return sorted(result)
+
+
+@register_project_rule
+class LockOrderRule:
+    META = RuleMeta(
+        rule_id="LOCKORDER",
+        title="lock-acquisition order is globally consistent",
+        invariant=(
+            "the project-wide lock-acquisition graph (with-block nesting "
+            "plus calls made while holding a lock) has no cycles; every "
+            "pair of locks is always taken in the same order"
+        ),
+        severity=Severity.ERROR,
+    )
+
+    def check_project(self, project: ProjectUnderCheck) -> List[Finding]:
+        edges = build_lock_graph(project)
+        findings: List[Finding] = []
+        for component in _cycles(edges):
+            witnesses = sorted(
+                (site, outer, inner)
+                for (outer, inner), site in edges.items()
+                if outer in component and inner in component
+            )
+            (path, line), _, _ = witnesses[0]
+            ordered = " vs ".join(
+                f"`{outer}` then `{inner}` at {site[0]}:{site[1]}"
+                for site, outer, inner in witnesses[:2]
+            )
+            findings.append(
+                Finding(
+                    rule=self.META.rule_id,
+                    severity=self.META.severity,
+                    path=path,
+                    line=line,
+                    col=0,
+                    message=(
+                        "lock-order inversion between "
+                        + ", ".join(f"`{lock}`" for lock in component)
+                        + f": {ordered}; pick one global order and "
+                        "restructure the later acquisition"
+                    ),
+                )
+            )
+        return findings

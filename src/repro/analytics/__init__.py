@@ -12,6 +12,7 @@ historical window queries, and scored against simulator ground truth.
 from repro.analytics.accuracy import TruthTracker, accuracy_summary
 from repro.analytics.engine import (
     ANALYTICS_STATE_VERSION,
+    DEFAULT_FLOW_HYSTERESIS,
     AnalyticsEngine,
     RECOMPUTE_TOLERANCE,
     SnapshotLike,
@@ -37,6 +38,7 @@ __all__ = [
     "ANALYTICS_STATE_VERSION",
     "AnalyticsEngine",
     "DEFAULT_DWELL_EDGES",
+    "DEFAULT_FLOW_HYSTERESIS",
     "HALLWAYS",
     "LazyTopK",
     "NaiveAnalytics",

@@ -29,7 +29,6 @@ from repro.analytics.regions import HALLWAYS
 from repro.analytics.streaming import DEFAULT_DWELL_EDGES, StreamingHistogram
 from repro.floorplan.plan import FloorPlan
 from repro.geometry import Point
-from repro.sim.ground_truth import true_room_counts
 
 
 class TruthTracker:
@@ -67,6 +66,10 @@ class TruthTracker:
 
     def observe(self, second: int, positions: Mapping[str, Point]) -> None:
         """Fold one epoch of true positions into the true aggregates."""
+        # Deferred: analytics sits below sim in the layer map (ARCH);
+        # only this truth-scoring path touches the simulator.
+        from repro.sim.ground_truth import true_room_counts
+
         self.counts = true_room_counts(self.plan, positions)
         for object_id in sorted(set(self._region) - set(positions)):
             old_region = self._region.pop(object_id)

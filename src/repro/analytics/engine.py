@@ -61,8 +61,18 @@ if TYPE_CHECKING:
     from repro.queries.density import ZoneDensity
 
 #: Analytics checkpoint state version (carried inside the service's v2
-#: checkpoint envelope).
-ANALYTICS_STATE_VERSION = 1
+#: checkpoint envelope). Version 2 added modal-readout hysteresis: the
+#: committed modal region, the pending-candidate debounce state, and the
+#: ``flow_hysteresis`` threshold are all part of the serialized state.
+ANALYTICS_STATE_VERSION = 2
+
+#: Default modal-transition debounce: a new modal region must hold for
+#: this many consecutive epochs before a flow event is committed. The
+#: posterior's modal region flaps between adjacent rooms while belief
+#: mass is split near a door, and every flap used to count as a
+#: transition — inflating flow counts roughly 4× against ground truth.
+#: ``1`` disables the debounce (every readout flip commits immediately).
+DEFAULT_FLOW_HYSTERESIS = 2
 
 #: Absolute float tolerance of the incremental-vs-recompute equivalence
 #: guarantee. Incremental maintenance applies the same additions in a
@@ -101,14 +111,21 @@ class AnalyticsEngine:
         plan: FloorPlan,
         anchor_index: AnchorIndex,
         dwell_edges: Sequence[float] = DEFAULT_DWELL_EDGES,
+        flow_hysteresis: int = DEFAULT_FLOW_HYSTERESIS,
     ) -> None:
+        if flow_hysteresis < 1:
+            raise ValueError("flow_hysteresis must be >= 1")
         self.region_map = RegionMap(plan, anchor_index)
         self.dwell_edges: Tuple[float, ...] = tuple(float(e) for e in dwell_edges)
+        self.flow_hysteresis = int(flow_hysteresis)
         # -- per-object state ------------------------------------------
         self._dist: Dict[str, Dict[int, float]] = {}
         self._mass: Dict[str, Dict[str, float]] = {}
         self._modal: Dict[str, str] = {}
         self._modal_since: Dict[str, int] = {}
+        #: debounce state: object -> (candidate region, second the
+        #: candidate was first read out, consecutive readout count)
+        self._pending: Dict[str, Tuple[str, int, int]] = {}
         # -- aggregates -------------------------------------------------
         self._occupancy: Dict[str, float] = {
             region: 0.0 for region in self.region_map.regions
@@ -164,7 +181,20 @@ class AnalyticsEngine:
             new_dist = table.distribution_of(object_id)
             old_dist = self._dist.get(object_id)
             if old_dist == new_dist:
-                continue  # posterior unchanged: zero delta, zero work
+                # Posterior unchanged: zero aggregate delta — but an
+                # unchanged posterior re-reads the same modal region, so
+                # a pending transition candidate keeps accumulating (the
+                # naive comparator, which reprocesses every object every
+                # epoch, counts this epoch; so must we).
+                if object_id in self._pending:
+                    self._observe_modal_readout(
+                        object_id,
+                        self._pending[object_id][0],
+                        second,
+                        epoch_flows,
+                        epoch_dwells,
+                    )
+                continue
             epoch_updates += 1
             self._apply_density_delta(old_dist, new_dist)
             new_mass = self.region_map.fold(new_dist)
@@ -181,18 +211,11 @@ class AnalyticsEngine:
             if old_modal is None:
                 self._enters[new_modal] = self._enters.get(new_modal, 0) + 1
                 self._modal_since[object_id] = second
-            elif new_modal != old_modal:
-                dwelled = float(second - self._modal_since[object_id])
-                self._record_dwell(object_id, old_modal, dwelled)
-                epoch_dwells.append((old_modal, dwelled))
-                key = flow_key(old_modal, new_modal)
-                self._flows[key] = self._flows.get(key, 0) + 1
-                epoch_flows[key] = epoch_flows.get(key, 0) + 1
-                self._leaves[old_modal] = self._leaves.get(old_modal, 0) + 1
-                self._enters[new_modal] = self._enters.get(new_modal, 0) + 1
-                self._modal_since[object_id] = second
-                self.flow_events += 1
-            self._modal[object_id] = new_modal
+                self._modal[object_id] = new_modal
+            else:
+                self._observe_modal_readout(
+                    object_id, new_modal, second, epoch_flows, epoch_dwells
+                )
             self._dist[object_id] = new_dist
             self._mass[object_id] = new_mass
 
@@ -229,6 +252,49 @@ class AnalyticsEngine:
                 )
         return dict(self._epoch_delta)
 
+    def _observe_modal_readout(
+        self,
+        object_id: str,
+        readout: str,
+        second: int,
+        epoch_flows: Dict[FlowKey, int],
+        epoch_dwells: List[Tuple[str, float]],
+    ) -> None:
+        """Debounced modal-transition logic for one tracked object.
+
+        ``readout`` is this epoch's modal region. A readout matching the
+        committed region clears any pending candidate; a differing
+        readout must repeat for ``flow_hysteresis`` consecutive epochs
+        before the transition commits. On commit, the dwell and the
+        ``modal_since`` baseline are backdated to the second the
+        candidate was first read out — the transition *happened* then,
+        the debounce only delayed believing it.
+        """
+        committed = self._modal[object_id]
+        if readout == committed:
+            self._pending.pop(object_id, None)
+            return
+        pending = self._pending.get(object_id)
+        if pending is not None and pending[0] == readout:
+            first_seen, count = pending[1], pending[2] + 1
+        else:
+            first_seen, count = second, 1
+        if count < self.flow_hysteresis:
+            self._pending[object_id] = (readout, first_seen, count)
+            return
+        self._pending.pop(object_id, None)
+        dwelled = float(first_seen - self._modal_since[object_id])
+        self._record_dwell(object_id, committed, dwelled)
+        epoch_dwells.append((committed, dwelled))
+        key = flow_key(committed, readout)
+        self._flows[key] = self._flows.get(key, 0) + 1
+        epoch_flows[key] = epoch_flows.get(key, 0) + 1
+        self._leaves[committed] = self._leaves.get(committed, 0) + 1
+        self._enters[readout] = self._enters.get(readout, 0) + 1
+        self._modal_since[object_id] = first_seen
+        self._modal[object_id] = readout
+        self.flow_events += 1
+
     def _retire_object(
         self,
         object_id: str,
@@ -245,6 +311,7 @@ class AnalyticsEngine:
             self._occ_m2[region] -= old_m * (1.0 - old_m)
             touched.add(region)
         modal = self._modal.pop(object_id)
+        self._pending.pop(object_id, None)
         dwelled = float(second - self._modal_since.pop(object_id))
         self._record_dwell(object_id, modal, dwelled)
         epoch_dwells.append((modal, dwelled))
@@ -487,6 +554,7 @@ class AnalyticsEngine:
         return {
             "state_version": ANALYTICS_STATE_VERSION,
             "dwell_edges": list(self.dwell_edges),
+            "flow_hysteresis": self.flow_hysteresis,
             "epochs": self.epochs,
             "updates": self.updates,
             "flow_events": self.flow_events,
@@ -502,6 +570,11 @@ class AnalyticsEngine:
                     },
                     "modal": self._modal[object_id],
                     "modal_since": self._modal_since[object_id],
+                    "pending": (
+                        list(self._pending[object_id])
+                        if object_id in self._pending
+                        else None
+                    ),
                 }
                 for object_id in sorted(self._dist)
             },
@@ -534,6 +607,7 @@ class AnalyticsEngine:
                 f"(expected {ANALYTICS_STATE_VERSION})"
             )
         self.dwell_edges = tuple(as_float(e) for e in as_list(state["dwell_edges"]))
+        self.flow_hysteresis = as_int(state["flow_hysteresis"])
         self.epochs = as_int(state["epochs"])
         self.updates = as_int(state["updates"])
         self.flow_events = as_int(state["flow_events"])
@@ -545,6 +619,7 @@ class AnalyticsEngine:
         self._mass.clear()
         self._modal.clear()
         self._modal_since.clear()
+        self._pending.clear()
         objects = as_map(state["objects"])
         for object_id in sorted(objects):
             record = as_map(objects[object_id])
@@ -556,6 +631,14 @@ class AnalyticsEngine:
             self._mass[str(object_id)] = self.region_map.fold(distribution)
             self._modal[str(object_id)] = str(record["modal"])
             self._modal_since[str(object_id)] = int(record["modal_since"])
+            pending = record.get("pending")
+            if pending is not None:
+                candidate, first_seen, count = as_list(pending)
+                self._pending[str(object_id)] = (
+                    str(candidate),
+                    as_int(first_seen),
+                    as_int(count),
+                )
         occupancy = as_map(state["occupancy"])
         occ_m2 = as_map(state["occ_m2"])
         self._occupancy = {

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.analytics.engine import SnapshotLike
+from repro.analytics.engine import DEFAULT_FLOW_HYSTERESIS, SnapshotLike
 from repro.analytics.regions import RegionMap
 from repro.analytics.streaming import DEFAULT_DWELL_EDGES, StreamingHistogram
 from repro.floorplan.plan import FloorPlan
@@ -34,9 +34,13 @@ class NaiveAnalytics:
         plan: FloorPlan,
         anchor_index: AnchorIndex,
         dwell_edges: Sequence[float] = DEFAULT_DWELL_EDGES,
+        flow_hysteresis: int = DEFAULT_FLOW_HYSTERESIS,
     ) -> None:
+        if flow_hysteresis < 1:
+            raise ValueError("flow_hysteresis must be >= 1")
         self.region_map = RegionMap(plan, anchor_index)
         self.dwell_edges: Tuple[float, ...] = tuple(float(e) for e in dwell_edges)
+        self.flow_hysteresis = int(flow_hysteresis)
         self.occupancy: Dict[str, float] = {
             region: 0.0 for region in self.region_map.regions
         }
@@ -50,6 +54,7 @@ class NaiveAnalytics:
         self.dwell_region: Dict[str, StreamingHistogram] = {}
         self._modal: Dict[str, str] = {}
         self._modal_since: Dict[str, int] = {}
+        self._pending: Dict[str, Tuple[str, int, int]] = {}
         self.epochs = 0
         self.flow_events = 0
 
@@ -73,28 +78,44 @@ class NaiveAnalytics:
             region = RegionMap.modal_region(mass)
             assert region is not None
             modal[object_id] = region
-        # Diff the full modal map against last epoch's.
+        # Diff the full modal map against last epoch's (same debounce as
+        # the engine: a differing readout must repeat flow_hysteresis
+        # consecutive epochs before it commits, backdated to first sight).
         for object_id in sorted(set(self._modal) - set(modal)):
             old_region = self._modal.pop(object_id)
+            self._pending.pop(object_id, None)
             self._close_dwell(old_region, second - self._modal_since.pop(object_id))
             self.leaves[old_region] = self.leaves.get(old_region, 0) + 1
         for object_id in sorted(modal):
-            new_region = modal[object_id]
-            old_region = self._modal.get(object_id)
-            if old_region is None:
-                self.enters[new_region] = self.enters.get(new_region, 0) + 1
+            readout = modal[object_id]
+            committed = self._modal.get(object_id)
+            if committed is None:
+                self.enters[readout] = self.enters.get(readout, 0) + 1
                 self._modal_since[object_id] = second
-            elif old_region != new_region:
-                self._close_dwell(
-                    old_region, second - self._modal_since[object_id]
-                )
-                key = f"{old_region}->{new_region}"
-                self.flows[key] = self.flows.get(key, 0) + 1
-                self.leaves[old_region] = self.leaves.get(old_region, 0) + 1
-                self.enters[new_region] = self.enters.get(new_region, 0) + 1
-                self._modal_since[object_id] = second
-                self.flow_events += 1
-            self._modal[object_id] = new_region
+                self._modal[object_id] = readout
+                continue
+            if readout == committed:
+                self._pending.pop(object_id, None)
+                continue
+            pending = self._pending.get(object_id)
+            if pending is not None and pending[0] == readout:
+                first_seen, count = pending[1], pending[2] + 1
+            else:
+                first_seen, count = second, 1
+            if count < self.flow_hysteresis:
+                self._pending[object_id] = (readout, first_seen, count)
+                continue
+            self._pending.pop(object_id, None)
+            self._close_dwell(
+                committed, first_seen - self._modal_since[object_id]
+            )
+            key = f"{committed}->{readout}"
+            self.flows[key] = self.flows.get(key, 0) + 1
+            self.leaves[committed] = self.leaves.get(committed, 0) + 1
+            self.enters[readout] = self.enters.get(readout, 0) + 1
+            self._modal_since[object_id] = first_seen
+            self._modal[object_id] = readout
+            self.flow_events += 1
         self.occupancy = occupancy
         self.variance = variance
         self.density = density

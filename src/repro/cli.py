@@ -50,6 +50,7 @@ from typing import List, Optional
 
 import repro.obs as obs
 from repro.analysis.baseline import DEFAULT_BASELINE
+from repro.analysis.rules.schema_lock import DEFAULT_SCHEMA_LOCK
 from repro.config import DEFAULT_CONFIG
 from repro.geometry import Point, Rect
 from repro.filters import DEFAULT_BACKEND, available_backends
@@ -406,8 +407,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="report format (json is the CI contract)",
     )
     lint.add_argument(
+        "--project", action="store_true",
+        help=(
+            "whole-program mode: also run the cross-file rules "
+            "(ARCH/SEED/SCHEMA/LOCKORDER) over one shared project view"
+        ),
+    )
+    lint.add_argument(
         "--rules", metavar="ID[,ID]",
-        help="run only these rule ids (e.g. DET,THR)",
+        help="run only these rule ids (e.g. DET,THR or ARCH,LOCKORDER)",
+    )
+    lint.add_argument(
+        "--schema-lock", metavar="JSON", default=None,
+        help=(
+            "schema lockfile the SCHEMA rule checks drift against "
+            f"(default: {DEFAULT_SCHEMA_LOCK} if it exists; "
+            "project mode only)"
+        ),
+    )
+    lint.add_argument(
+        "--write-schema-lock", action="store_true",
+        help=(
+            "regenerate the schema lockfile from the current tree and "
+            "exit 0 (project mode only)"
+        ),
     )
     lint.add_argument(
         "--baseline", metavar="JSON", default=None,
@@ -810,25 +833,56 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import (
         Baseline,
+        all_project_rules,
         all_rules,
+        build_project,
         lint_paths,
+        lint_project,
         load_if_exists,
         render_json,
         render_text,
     )
+    from repro.analysis.rules.schema_lock import write_lock
 
     if args.list_rules:
-        for rule_cls in all_rules():
-            meta = rule_cls.META
-            print(f"{meta.rule_id}  [{meta.severity}]  {meta.title}")
-            print(f"     {meta.invariant}")
-            if meta.applies_to:
-                print(f"     scope: {', '.join(meta.applies_to)}")
+        for heading, rules in (
+            ("per-file rules", all_rules()),
+            ("whole-program rules (--project)", all_project_rules()),
+        ):
+            print(f"{heading}:")
+            for rule_cls in rules:
+                meta = rule_cls.META
+                print(f"{meta.rule_id}  [{meta.severity}]  {meta.title}")
+                print(f"     {meta.invariant}")
+                if meta.applies_to:
+                    print(f"     scope: {', '.join(meta.applies_to)}")
+        return 0
+
+    schema_lock = args.schema_lock
+    if schema_lock is None and os.path.exists(DEFAULT_SCHEMA_LOCK):
+        schema_lock = DEFAULT_SCHEMA_LOCK
+
+    if args.write_schema_lock:
+        if not args.project:
+            print(
+                "repro: lint error: --write-schema-lock requires --project",
+                file=sys.stderr,
+            )
+            return 2
+        lock_path = schema_lock or DEFAULT_SCHEMA_LOCK
+        project = build_project(args.paths, schema_lock_path=lock_path)
+        write_lock(project, lock_path)
+        print(f"schema lock -> {lock_path}")
         return 0
 
     only = [r.strip().upper() for r in args.rules.split(",")] if args.rules else []
     try:
-        result = lint_paths(args.paths, only=only)
+        if args.project:
+            result = lint_project(
+                args.paths, only=only, schema_lock_path=schema_lock
+            )
+        else:
+            result = lint_paths(args.paths, only=only)
     except (KeyError, OSError) as exc:
         print(f"repro: lint error: {exc}", file=sys.stderr)
         return 2

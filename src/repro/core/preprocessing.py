@@ -20,13 +20,13 @@ import repro.obs as obs
 from repro.collector.collector import EventDrivenCollector
 from repro.config import SimulationConfig
 from repro.core.resampling import systematic_resample
-from repro.filters.registry import BackendSpec, create_backend
 from repro.graph.anchors import AnchorIndex
 from repro.graph.walking_graph import WalkingGraph
 from repro.rng import RngLike, make_rng
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cache.particle_cache import ParticleCacheManager
+    from repro.filters.registry import BackendSpec
 
 
 class PreprocessingModule:
@@ -40,8 +40,12 @@ class PreprocessingModule:
         config: SimulationConfig,
         cache: "Optional[ParticleCacheManager]" = None,
         resampler=systematic_resample,
-        backend: BackendSpec = "particle",
+        backend: "BackendSpec" = "particle",
     ):
+        # Deferred: core sits below filters in the layer map (ARCH); the
+        # backend registry is only needed at construction time.
+        from repro.filters.registry import create_backend
+
         self.graph = graph
         self.anchor_index = anchor_index
         self.config = config

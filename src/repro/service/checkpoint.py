@@ -30,9 +30,16 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 from repro.config import SimulationConfig
+
+if TYPE_CHECKING:
+    from repro.floorplan.plan import FloorPlan
+    from repro.rfid.reader import RFIDReader
+    from repro.service.tracking import TrackingService
+
+PathLike = Union[str, "os.PathLike[str]"]
 
 CHECKPOINT_FORMAT = "repro-service-checkpoint"
 CHECKPOINT_VERSION = 2
@@ -42,7 +49,7 @@ class CheckpointCompatibilityError(ValueError):
     """A checkpoint cannot be restored onto this service configuration."""
 
 
-def save_checkpoint(service, path) -> None:
+def save_checkpoint(service: TrackingService, path: PathLike) -> None:
     """Write the service's full state to ``path`` (atomic rename)."""
     document = {
         "format": CHECKPOINT_FORMAT,
@@ -82,7 +89,7 @@ def _migrate_v1(state: dict) -> dict:
     return state
 
 
-def load_checkpoint(path) -> dict:
+def load_checkpoint(path: PathLike) -> dict:
     """Read and validate a checkpoint; returns the raw state dict.
 
     Version-1 documents (pre-backend) are transparently migrated to the
@@ -93,30 +100,33 @@ def load_checkpoint(path) -> dict:
     if not isinstance(document, dict) or document.get("format") != CHECKPOINT_FORMAT:
         raise ValueError(f"{path}: not a {CHECKPOINT_FORMAT} file")
     version = document.get("checkpoint_version")
+    state = document.get("state")
+    if not isinstance(state, dict):
+        raise ValueError(f"{path}: checkpoint state is not an object")
     if version == 1:
-        return _migrate_v1(document["state"])
+        return _migrate_v1(state)
     if version != CHECKPOINT_VERSION:
         raise ValueError(
             f"{path}: unsupported checkpoint version {version!r} "
             f"(expected {CHECKPOINT_VERSION})"
         )
-    return document["state"]
+    return state
 
 
 def checkpoint_backend(state: dict) -> str:
     """The filter backend name a (migrated) checkpoint state was made with."""
-    return state.get("filter", {}).get("backend", "particle")
+    return str(state.get("filter", {}).get("backend", "particle"))
 
 
 def restore_service(
     state: dict,
-    plan=None,
-    readers=None,
+    plan: Optional[FloorPlan] = None,
+    readers: Optional[Sequence[RFIDReader]] = None,
     num_shards: int = 1,
     mode: str = "thread",
     use_cache: Optional[bool] = None,
     filter_backend: Optional[str] = None,
-):
+) -> TrackingService:
     """Build a :class:`TrackingService` resumed from a checkpoint state.
 
     The world geometry (floor plan, deployment) is not serialized — pass
@@ -175,14 +185,14 @@ def restore_service(
 
 
 def restore_from_file(
-    path,
-    plan=None,
-    readers=None,
+    path: PathLike,
+    plan: Optional[FloorPlan] = None,
+    readers: Optional[Sequence[RFIDReader]] = None,
     num_shards: int = 1,
     mode: str = "thread",
     use_cache: Optional[bool] = None,
     filter_backend: Optional[str] = None,
-):
+) -> TrackingService:
     """:func:`load_checkpoint` + :func:`restore_service` in one call."""
     return restore_service(
         load_checkpoint(path),

@@ -21,11 +21,14 @@ from __future__ import annotations
 import threading
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Deque, Iterator, List, Optional, Protocol, Tuple
 
 import repro.obs as obs
-from repro.io.readings_csv import group_readings_by_second, load_readings
+from repro.io.readings_csv import PathLike, group_readings_by_second, load_readings
 from repro.rfid.readings import RawReading
+
+if TYPE_CHECKING:
+    from repro.sim.simulator import Simulation
 
 
 @dataclass(frozen=True)
@@ -37,6 +40,12 @@ class ReadingBatch:
 
     def __len__(self) -> int:
         return len(self.readings)
+
+
+class ReadingSource(Protocol):
+    """Anything that yields time-ordered batches (replay, live sim, …)."""
+
+    def batches(self) -> Iterator[ReadingBatch]: ...
 
 
 class ReplaySource:
@@ -52,7 +61,7 @@ class ReplaySource:
         readings: List[RawReading],
         start_after: Optional[int] = None,
         max_seconds: Optional[int] = None,
-    ):
+    ) -> None:
         self._readings = list(readings)
         self.start_after = start_after
         self.max_seconds = max_seconds
@@ -60,7 +69,7 @@ class ReplaySource:
     @classmethod
     def from_file(
         cls,
-        path,
+        path: PathLike,
         start_after: Optional[int] = None,
         max_seconds: Optional[int] = None,
     ) -> "ReplaySource":
@@ -90,7 +99,7 @@ class LiveSimSource:
     :meth:`~repro.sim.simulator.Simulation.step`.
     """
 
-    def __init__(self, simulation, seconds: int):
+    def __init__(self, simulation: Simulation, seconds: int) -> None:
         if seconds < 1:
             raise ValueError("seconds must be >= 1")
         self.simulation = simulation
@@ -118,11 +127,11 @@ class BoundedQueue:
     ``service.queue_backpressure_waits``.
     """
 
-    def __init__(self, maxsize: int = 64):
+    def __init__(self, maxsize: int = 64) -> None:
         if maxsize < 1:
             raise ValueError("maxsize must be >= 1")
         self.maxsize = maxsize
-        self._items: deque = deque()
+        self._items: Deque[ReadingBatch] = deque()
         self._lock = threading.Lock()
         self._not_full = threading.Condition(self._lock)
         self._not_empty = threading.Condition(self._lock)
@@ -175,7 +184,7 @@ class SourceFeeder(threading.Thread):
     recording it), so the consuming scheduler terminates cleanly.
     """
 
-    def __init__(self, source, queue: BoundedQueue):
+    def __init__(self, source: ReadingSource, queue: BoundedQueue) -> None:
         super().__init__(name="repro-ingest-feeder", daemon=True)
         self.source = source
         self.queue = queue

@@ -16,10 +16,23 @@ shard liveness) served by ``repro serve --metrics-port``.
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Protocol
 
 import repro.obs as obs
 from repro.service.ingest import BoundedQueue
+
+if TYPE_CHECKING:
+    from repro.obs.alerts import AlertEngine
+    from repro.obs.events import EpochEventRecorder
+    from repro.service.tracking import TrackingService
+
+
+class Clock(Protocol):
+    """What the scheduler needs from a time source: read it, wait on it."""
+
+    def now(self) -> float: ...
+
+    def sleep(self, seconds: float) -> None: ...
 
 
 class SystemClock:
@@ -36,9 +49,9 @@ class SystemClock:
 class ManualClock:
     """Deterministic clock for tests: ``sleep`` just advances ``now``."""
 
-    def __init__(self, start: float = 0.0):
+    def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
-        self.sleeps: list = []
+        self.sleeps: List[float] = []
 
     def now(self) -> float:
         return self._now
@@ -67,15 +80,15 @@ class EpochScheduler:
 
     def __init__(
         self,
-        service,
+        service: TrackingService,
         queue: BoundedQueue,
         tick_interval: float = 0.0,
-        clock=None,
+        clock: Optional[Clock] = None,
         checkpoint_path: Optional[str] = None,
         checkpoint_interval: int = 0,
-        event_recorder=None,
-        alert_engine=None,
-    ):
+        event_recorder: Optional[EpochEventRecorder] = None,
+        alert_engine: Optional[AlertEngine] = None,
+    ) -> None:
         if tick_interval < 0:
             raise ValueError("tick_interval must be non-negative")
         if checkpoint_interval < 0:
@@ -83,7 +96,7 @@ class EpochScheduler:
         self.service = service
         self.queue = queue
         self.tick_interval = tick_interval
-        self.clock = clock if clock is not None else SystemClock()
+        self.clock: Clock = clock if clock is not None else SystemClock()
         self.checkpoint_path = checkpoint_path
         self.checkpoint_interval = checkpoint_interval
         self.event_recorder = event_recorder

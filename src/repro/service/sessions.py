@@ -18,7 +18,10 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 import repro.obs as obs
+from repro.floorplan.plan import FloorPlan
 from repro.geometry import Point, Rect
+from repro.graph.anchors import AnchorIndex
+from repro.graph.walking_graph import WalkingGraph
 from repro.index.hashtable import AnchorObjectTable
 from repro.queries.continuous import ContinuousQueryMonitor, ResultDelta
 from repro.queries.engine import EngineSnapshot
@@ -39,7 +42,9 @@ class SnapshotQueryEngine:
     :class:`ContinuousQueryMonitor` drive the service's read path.
     """
 
-    def __init__(self, plan, graph, anchor_index):
+    def __init__(
+        self, plan: FloorPlan, graph: WalkingGraph, anchor_index: AnchorIndex
+    ) -> None:
         self.plan = plan
         self.graph = graph
         self.anchor_index = anchor_index
@@ -75,7 +80,7 @@ class SnapshotQueryEngine:
         return list(self._knn_queries)
 
     # -- evaluation ------------------------------------------------------
-    def evaluate(self, now: int, rng=None) -> EngineSnapshot:
+    def evaluate(self, now: int, rng: object = None) -> EngineSnapshot:
         """Answer every registered query from the published table.
 
         ``rng`` is accepted (and ignored) for monitor compatibility —
@@ -113,11 +118,14 @@ class Subscription:
         """One-line human-readable form (used by the serve CLI)."""
         if self.kind == "range":
             w = self.window
+            assert w is not None
             return (
                 f"{self.session_id}: range "
                 f"[{w.min_x:.1f},{w.min_y:.1f} - {w.max_x:.1f},{w.max_y:.1f}]"
             )
-        return f"{self.session_id}: {self.k}NN at ({self.point.x:.1f},{self.point.y:.1f})"
+        p = self.point
+        assert p is not None
+        return f"{self.session_id}: {self.k}NN at ({p.x:.1f},{p.y:.1f})"
 
 
 class SessionManager:
@@ -125,12 +133,12 @@ class SessionManager:
 
     def __init__(
         self,
-        plan,
-        graph,
-        anchor_index,
+        plan: FloorPlan,
+        graph: WalkingGraph,
+        anchor_index: AnchorIndex,
         report_threshold: float = 0.05,
         min_change: float = 0.10,
-    ):
+    ) -> None:
         self.engine = SnapshotQueryEngine(plan, graph, anchor_index)
         self.monitor = ContinuousQueryMonitor(
             self.engine,
@@ -232,15 +240,18 @@ class SessionManager:
     # ------------------------------------------------------------------
     def state_dict(self) -> dict:
         """Sessions and monitor diff state, JSON-safe (callbacks excluded)."""
-        sessions = []
+        sessions: List[Dict[str, object]] = []
         for sub in self._subscriptions.values():
-            record = {"session_id": sub.session_id, "kind": sub.kind,
-                      "deltas_delivered": sub.deltas_delivered}
+            record: Dict[str, object] = {"session_id": sub.session_id, "kind": sub.kind,
+                                         "deltas_delivered": sub.deltas_delivered}
             if sub.kind == "range":
                 w = sub.window
+                assert w is not None
                 record["window"] = [w.min_x, w.min_y, w.max_x, w.max_y]
             else:
-                record["point"] = [sub.point.x, sub.point.y]
+                p = sub.point
+                assert p is not None
+                record["point"] = [p.x, p.y]
                 record["k"] = sub.k
             sessions.append(record)
         return {

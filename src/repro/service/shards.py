@@ -30,16 +30,27 @@ from __future__ import annotations
 import itertools
 import threading
 import zlib
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import repro.obs as obs
-from repro.collector.collector import DeviceRun, ReadingHistory
+from repro.collector.collector import DeviceRun, EventDrivenCollector, ReadingHistory
 from repro.config import SimulationConfig
 from repro.core.preprocessing import PreprocessingModule
 from repro.filters.registry import BackendSpec
+from repro.graph.anchors import AnchorIndex
+from repro.graph.walking_graph import WalkingGraph
 from repro.index.hashtable import AnchorObjectTable
+from repro.rfid.reader import RFIDReader
 from repro.rng import filter_run_rng
+
+if TYPE_CHECKING:
+    import numpy as np
+
+#: What one process-pool task carries: (executor key, second, seed,
+#: [(object_id, serialized device runs), ...]).
+_ShardPayload = Tuple[int, int, int, List[Tuple[str, List[Dict[str, Any]]]]]
+_ShardResult = List[Tuple[str, Dict[int, float]]]
 
 _MODES = ("serial", "thread", "process")
 
@@ -70,7 +81,7 @@ def partition_objects(
     return shards
 
 
-def _run_process_shard(payload) -> List[Tuple[str, Dict[int, float]]]:
+def _run_process_shard(payload: _ShardPayload) -> _ShardResult:
     """Process-pool worker: cold-filter one shard's objects.
 
     Runs in a forked child; the preprocessing module is found in the
@@ -80,7 +91,7 @@ def _run_process_shard(payload) -> List[Tuple[str, Dict[int, float]]]:
     """
     key, second, seed, object_states = payload
     pp = _FORK_REGISTRY[key]
-    results: List[Tuple[str, Dict[int, float]]] = []
+    results: _ShardResult = []
     for object_id, runs in object_states:
         history = ReadingHistory(
             object_id=object_id,
@@ -100,17 +111,17 @@ class ShardedFilterExecutor:
 
     def __init__(
         self,
-        graph,
-        anchor_index,
-        readers,
+        graph: WalkingGraph,
+        anchor_index: AnchorIndex,
+        readers: Sequence[RFIDReader],
         config: SimulationConfig,
         num_shards: int = 1,
         mode: str = "thread",
         use_cache: bool = True,
         seed: Optional[int] = None,
-        resampler=None,
+        resampler: Optional[Callable[..., Any]] = None,
         filter_backend: BackendSpec = "particle",
-    ):
+    ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         if mode not in _MODES:
@@ -148,12 +159,12 @@ class ShardedFilterExecutor:
             self._init_process_pool()
 
     # ------------------------------------------------------------------
-    def rng_for(self, second: int, object_id: str):
+    def rng_for(self, second: int, object_id: str) -> "np.random.Generator":
         """The private generator of one object's filter run at one tick."""
         return filter_run_rng(self.seed, second, object_id)
 
     def build_table(
-        self, candidates: Sequence[str], collector, second: int
+        self, candidates: Sequence[str], collector: EventDrivenCollector, second: int
     ) -> AnchorObjectTable:
         """Filter every candidate across the shard pool and merge the result.
 
@@ -202,7 +213,7 @@ class ShardedFilterExecutor:
 
     # ------------------------------------------------------------------
     def _run_shard(
-        self, index: int, shard: List[str], collector, second: int
+        self, index: int, shard: List[str], collector: EventDrivenCollector, second: int
     ) -> AnchorObjectTable:
         """Filter one shard's objects with per-object RNG streams.
 
@@ -252,11 +263,13 @@ class ShardedFilterExecutor:
         )
 
     def _run_process_shards(
-        self, shards: List[List[str]], collector, second: int
+        self, shards: List[List[str]], collector: EventDrivenCollector, second: int
     ) -> List[AnchorObjectTable]:
-        futures = []
+        pool = self._process_pool
+        assert pool is not None
+        futures: List[Future[_ShardResult]] = []
         for shard in shards:
-            object_states = []
+            object_states: List[Tuple[str, List[Dict[str, Any]]]] = []
             for object_id in shard:
                 history = collector.history(object_id)
                 if history.is_empty:
@@ -271,12 +284,12 @@ class ShardedFilterExecutor:
                     )
                 )
             futures.append(
-                self._process_pool.submit(
+                pool.submit(
                     _run_process_shard,
                     (self._key, second, self.seed, object_states),
                 )
             )
-        tables = []
+        tables: List[AnchorObjectTable] = []
         for future in futures:
             table = AnchorObjectTable()
             for object_id, distribution in future.result():
@@ -310,5 +323,5 @@ class ShardedFilterExecutor:
     def __enter__(self) -> "ShardedFilterExecutor":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()

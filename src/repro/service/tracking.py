@@ -28,20 +28,23 @@ from typing import Dict, List, Optional, Sequence
 
 import repro.obs as obs
 from repro import __version__
-from repro.analytics.engine import AnalyticsEngine
+from repro.analytics.engine import DEFAULT_FLOW_HYSTERESIS, AnalyticsEngine
 from repro.analytics.streaming import DEFAULT_DWELL_EDGES
 from repro.collector.collector import EventDrivenCollector
 from repro.config import DEFAULT_CONFIG, SimulationConfig
+from repro.floorplan.plan import FloorPlan
 from repro.floorplan.presets import paper_office_plan
 from repro.geometry import Point, Rect
 from repro.graph.anchors import build_anchor_index
 from repro.graph.walking_graph import build_walking_graph
 from repro.index.hashtable import AnchorObjectTable
+from repro.queries.continuous import ResultDelta
 from repro.queries.pruning import QueryAwareOptimizer
 from repro.queries.types import KNNQuery, KNNResult, RangeQuery, RangeResult
 from repro.queries.knn_query import evaluate_knn_query
 from repro.queries.range_query import evaluate_range_query
 from repro.rfid.deployment import deploy_readers_uniform
+from repro.rfid.reader import RFIDReader
 from repro.filters.registry import BackendSpec
 from repro.service.ingest import ReadingBatch
 from repro.service.sessions import SessionManager
@@ -68,8 +71,8 @@ class TrackingService:
     def __init__(
         self,
         config: SimulationConfig = DEFAULT_CONFIG,
-        plan=None,
-        readers: Optional[Sequence] = None,
+        plan: Optional[FloorPlan] = None,
+        readers: Optional[Sequence[RFIDReader]] = None,
         tag_to_object: Optional[Dict[str, str]] = None,
         num_shards: int = 1,
         mode: str = "thread",
@@ -79,7 +82,7 @@ class TrackingService:
         report_threshold: float = 0.05,
         min_change: float = 0.10,
         filter_backend: BackendSpec = "particle",
-    ):
+    ) -> None:
         self.config = config
         if config.observability and not obs.enabled():
             obs.enable(fresh=False)
@@ -127,7 +130,9 @@ class TrackingService:
         self.analytics: Optional[AnalyticsEngine] = None
 
     def enable_analytics(
-        self, dwell_edges: Sequence[float] = DEFAULT_DWELL_EDGES
+        self,
+        dwell_edges: Sequence[float] = DEFAULT_DWELL_EDGES,
+        flow_hysteresis: int = DEFAULT_FLOW_HYSTERESIS,
     ) -> AnalyticsEngine:
         """Attach (or return) the standing analytics session.
 
@@ -137,14 +142,17 @@ class TrackingService:
         """
         if self.analytics is None:
             self.analytics = AnalyticsEngine(
-                self.plan, self.anchor_index, dwell_edges=dwell_edges
+                self.plan,
+                self.anchor_index,
+                dwell_edges=dwell_edges,
+                flow_hysteresis=flow_hysteresis,
             )
         return self.analytics
 
     # ------------------------------------------------------------------
     # write path
     # ------------------------------------------------------------------
-    def process_batch(self, batch: ReadingBatch) -> List:
+    def process_batch(self, batch: ReadingBatch) -> List[ResultDelta]:
         """One epoch tick; returns the session deltas it produced."""
         with obs.span("service.tick", second=batch.second):
             if self._identity_tags:
@@ -293,5 +301,5 @@ class TrackingService:
     def __enter__(self) -> "TrackingService":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()

@@ -1,0 +1,12 @@
+"""ARCH project fixture: bypassing the ``repro.obs`` no-op facade.
+
+``from repro.obs.registry import ...`` wires a submodule directly into
+a hot-path module, skipping the enable/disable seam; ARCH must flag it
+even though ``obs`` (layer 3) sits below ``core`` (layer 5).
+"""
+
+from repro.obs.registry import counter
+
+
+def violating_bump() -> None:
+    counter("arch.fixture")

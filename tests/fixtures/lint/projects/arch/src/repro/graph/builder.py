@@ -1,0 +1,12 @@
+"""ARCH project fixture: a layer-2 module importing layer 11 at import time.
+
+Parsed (never executed) by ``tests/test_analysis_project.py``; the
+module-level ``repro.sim`` import below must draw exactly one ARCH
+layer-violation finding.
+"""
+
+from repro.sim.simulator import Simulation
+
+
+def violating_build() -> object:
+    return Simulation

@@ -1,0 +1,20 @@
+"""ARCH project fixture: the compliant shapes (must draw no finding).
+
+Downward imports, the ``import repro.obs as obs`` facade form, and an
+upward reference tucked inside ``if TYPE_CHECKING:`` are all sanctioned.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import repro.obs as obs
+from repro.core.engine import violating_bump
+
+if TYPE_CHECKING:
+    from repro.cli.main import CliHandle
+
+
+def compliant_serve(handle: CliHandle) -> None:
+    obs.add("arch.fixture.served")
+    violating_bump()

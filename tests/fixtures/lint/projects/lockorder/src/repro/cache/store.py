@@ -1,0 +1,35 @@
+"""LOCKORDER project fixture, half one of the inversion.
+
+``put`` takes the store lock and then calls into the service engine,
+whose acquires-closure takes the engine lock — the STORE -> ENGINE edge.
+``engine.py`` builds the opposite edge; together they form the cycle the
+rule must report. ``Store.drain`` adds a harmless method-lock edge so
+tests can check ``self._lock`` identity qualification.
+"""
+
+import threading
+
+from repro.service.engine import flush_engine
+
+_STORE_LOCK = threading.Lock()
+
+
+def evict() -> int:
+    with _STORE_LOCK:
+        return 1
+
+
+def put() -> int:
+    with _STORE_LOCK:
+        return flush_engine()
+
+
+class Store:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.items: dict = {}
+
+    def drain(self) -> None:
+        with self._lock:
+            with _STORE_LOCK:
+                self.items.clear()

@@ -1,0 +1,22 @@
+"""LOCKORDER project fixture: consistent nesting (must draw no finding).
+
+Both functions take ALPHA before BETA, so the graph gains one direction
+only — a consistent global order, not an inversion.
+"""
+
+import threading
+
+_ALPHA_LOCK = threading.Lock()
+_BETA_LOCK = threading.Lock()
+
+
+def compliant_first() -> int:
+    with _ALPHA_LOCK:
+        with _BETA_LOCK:
+            return 1
+
+
+def compliant_second() -> int:
+    with _ALPHA_LOCK:
+        with _BETA_LOCK:
+            return 2

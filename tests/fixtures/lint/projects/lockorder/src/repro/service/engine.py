@@ -1,0 +1,23 @@
+"""LOCKORDER project fixture, half two: the opposite acquisition order.
+
+``publish`` holds the engine lock while calling ``evict``, whose closure
+takes the store lock — ENGINE -> STORE, closing the cycle started in
+``cache/store.py``. (The circular module-level import is fine: fixtures
+are parsed, never executed.)
+"""
+
+import threading
+
+from repro.cache.store import evict
+
+_ENGINE_LOCK = threading.Lock()
+
+
+def flush_engine() -> int:
+    with _ENGINE_LOCK:
+        return 1
+
+
+def publish() -> int:
+    with _ENGINE_LOCK:
+        return evict()

@@ -1,0 +1,31 @@
+"""SCHEMA project fixture: the three producer shapes plus a version tag.
+
+``to_state`` returns a dict literal; ``state_dict`` builds a local dict
+and fills it with constant-subscript stores; ``save_checkpoint`` hands
+its envelope to ``json.dump``. All three key sets, and ``STATE_VERSION``,
+belong in the lockfile the tests generate and then perturb.
+"""
+
+import json
+
+STATE_VERSION = 2
+
+
+class Tracker:
+    def __init__(self) -> None:
+        self.ticks = 0
+        self.seed = 0
+
+    def to_state(self) -> dict:
+        return {"ticks": self.ticks, "seed": self.seed}
+
+    def state_dict(self) -> dict:
+        doc = {"version": STATE_VERSION}
+        doc["payload"] = self.to_state()
+        return doc
+
+
+def save_checkpoint(state: dict, path: str) -> None:
+    document = {"format": "fixture-checkpoint", "state": state}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)

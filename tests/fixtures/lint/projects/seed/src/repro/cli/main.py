@@ -1,0 +1,14 @@
+"""SEED project fixture: a raw generator handed into scope code.
+
+The creation happens in ``cli`` (ungoverned), but the value flows into
+the ``rng`` parameter of a ``repro.core`` function — SEED must flag the
+argument at this call site.
+"""
+
+import numpy as np
+
+from repro.core.runner import run_filter
+
+
+def violating_handoff() -> object:
+    return run_filter([], rng=np.random.default_rng(7))

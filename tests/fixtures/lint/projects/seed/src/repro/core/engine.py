@@ -1,0 +1,13 @@
+"""SEED project fixture: RAW creation in core via a cross-module helper.
+
+The ``fresh_rng()`` call below must draw a SEED finding — the generator
+is minted two modules away with no ``repro.rng`` provenance, and the
+interprocedural fixpoint is what carries that fact into ``core``.
+"""
+
+from repro.sim.helpers import fresh_rng
+
+
+def violating_step() -> object:
+    rng = fresh_rng()
+    return rng

@@ -1,0 +1,10 @@
+"""SEED project fixture: an in-scope callee with a generator-shaped param.
+
+``run_filter`` neither creates nor launders generators (its provenance
+is NONE); it exists so callers handing it a raw generator (see
+``cli/main.py``) can be flagged at the call site.
+"""
+
+
+def run_filter(history: list, rng: object) -> object:
+    return rng

@@ -1,0 +1,7 @@
+"""SEED project fixture: direct raw construction inside ``filters``."""
+
+import numpy as np
+
+
+def violating_make_rng() -> object:
+    return np.random.default_rng(0)

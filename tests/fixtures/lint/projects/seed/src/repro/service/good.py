@@ -1,0 +1,8 @@
+"""SEED project fixture: the sanctioned shape (must draw no finding)."""
+
+from repro.rng import child_rng
+
+
+def compliant_tick(seed: int) -> object:
+    rng = child_rng(seed, "tick")
+    return rng

@@ -1,0 +1,12 @@
+"""SEED project fixture: a RAW-provenance helper outside the scope packages.
+
+Creating a raw generator in ``sim`` is legal by itself — the violation
+only appears when ``repro.core`` calls this helper (see ``core/engine.py``),
+which the per-file DET rule structurally cannot see.
+"""
+
+import numpy as np
+
+
+def fresh_rng() -> object:
+    return np.random.default_rng()

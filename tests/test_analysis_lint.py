@@ -232,7 +232,10 @@ def test_json_document_schema():
     document = to_document(result)
     assert document["format"] == "repro-lint"
     assert document["version"] == 1
-    assert {r["id"] for r in document["rules"]} == {"DET", "CLK", "THR", "FP", "IO"}
+    assert {r["id"] for r in document["rules"]} == {
+        "DET", "CLK", "THR", "FP", "IO",
+        "ARCH", "SEED", "SCHEMA", "LOCKORDER",
+    }
     (finding,) = document["findings"]
     assert set(finding) == {"rule", "severity", "path", "line", "col", "message"}
     assert document["summary"]["errors"] == 1
@@ -240,7 +243,9 @@ def test_json_document_schema():
 
 
 def test_builtin_rule_ids():
-    assert rule_ids() == ["CLK", "DET", "FP", "IO", "THR"]
+    assert rule_ids() == [
+        "ARCH", "CLK", "DET", "FP", "IO", "LOCKORDER", "SCHEMA", "SEED", "THR",
+    ]
 
 
 def test_duplicate_rule_id_rejected():

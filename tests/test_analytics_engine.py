@@ -209,6 +209,129 @@ class TestEquivalence:
 
 
 # ----------------------------------------------------------------------
+# modal-readout hysteresis (flow debounce)
+# ----------------------------------------------------------------------
+class _FakeSnapshot:
+    """Minimal SnapshotLike: a second and a table."""
+
+    def __init__(self, second, table):
+        self.second = second
+        self.table = table
+
+
+def _two_room_anchors(region_map):
+    """One anchor id in each of the first two rooms."""
+    by_region = {}
+    for ap_id in sorted(region_map._region_of):
+        by_region.setdefault(region_map.region_of(ap_id), ap_id)
+    room_a, room_b = region_map.room_ids()[:2]
+    return room_a, room_b, by_region[room_a], by_region[room_b]
+
+
+class TestFlowHysteresis:
+    def _drive(self, service, anchors, hysteresis):
+        """Run engine + naive over one object hopping through anchors."""
+        from repro.index.hashtable import AnchorObjectTable
+
+        engine = AnalyticsEngine(
+            service.plan, service.anchor_index, flow_hysteresis=hysteresis
+        )
+        naive = NaiveAnalytics(
+            service.plan, service.anchor_index, flow_hysteresis=hysteresis
+        )
+        for second, ap_id in enumerate(anchors):
+            table = AnchorObjectTable()
+            table.set_distribution("o1", {ap_id: 1.0})
+            engine.observe_snapshot(_FakeSnapshot(second, table))
+            naive.observe_snapshot(_FakeSnapshot(second, table))
+        return engine, naive
+
+    def test_single_epoch_flap_is_debounced(self, replayed):
+        service, attached, _ = replayed
+        room_a, room_b, a, b = _two_room_anchors(attached.region_map)
+        engine, naive = self._drive(service, [a, b, a, b, a], hysteresis=2)
+        assert engine.flow_events == 0
+        assert engine.flow_counts() == {}
+        assert naive.flow_events == 0
+        # The flapping object never left its committed region.
+        assert engine.enter_leave_counts()[room_a]["leaves"] == 0
+
+    def test_hysteresis_one_reproduces_flip_on_every_readout(self, replayed):
+        service, attached, _ = replayed
+        room_a, room_b, a, b = _two_room_anchors(attached.region_map)
+        engine, naive = self._drive(service, [a, b, a, b, a], hysteresis=1)
+        assert engine.flow_events == 4
+        assert engine.flow_counts() == {
+            flow_key(room_a, room_b): 2,
+            flow_key(room_b, room_a): 2,
+        }
+        assert naive.flow_events == 4
+
+    def test_sustained_move_commits_backdated(self, replayed):
+        service, attached, _ = replayed
+        room_a, room_b, a, b = _two_room_anchors(attached.region_map)
+        # Seconds 0-2 in room A, 3-4 in room B: the candidate first
+        # appears at second 3 and commits at second 4 (hysteresis 2),
+        # backdating the dwell to seconds 0..3.
+        engine, naive = self._drive(service, [a, a, a, b, b], hysteresis=2)
+        assert engine.flow_counts() == {flow_key(room_a, room_b): 1}
+        assert engine.flow_events == 1
+        histogram = engine.dwell_histogram(room_a)
+        assert histogram.count == 1
+        assert histogram.mean() == pytest.approx(3.0)
+        assert naive.flows == {flow_key(room_a, room_b): 1}
+        assert engine.dwell_histogram(room_a).counts == (
+            naive.dwell_region[room_a].counts
+        )
+
+    def test_unchanged_posterior_still_accumulates_pending(self, replayed):
+        """The engine's skip-unchanged fast path must count epochs the
+        naive full-recompute comparator counts."""
+        service, attached, _ = replayed
+        room_a, room_b, a, b = _two_room_anchors(attached.region_map)
+        # Second 1 changes the posterior; seconds 2-3 repeat it exactly,
+        # so only the pending counter (not the aggregates) may advance.
+        engine, naive = self._drive(service, [a, b, b, b], hysteresis=3)
+        assert engine.flow_counts() == {flow_key(room_a, room_b): 1}
+        assert engine.flow_events == naive.flow_events == 1
+        assert dict(sorted(naive.flows.items())) == engine.flow_counts()
+
+    def test_pending_state_survives_checkpoint(self, replayed):
+        service, attached, _ = replayed
+        _, _, a, b = _two_room_anchors(attached.region_map)
+        from repro.index.hashtable import AnchorObjectTable
+
+        cold = AnalyticsEngine(
+            service.plan, service.anchor_index, flow_hysteresis=3
+        )
+        warm = AnalyticsEngine(
+            service.plan, service.anchor_index, flow_hysteresis=3
+        )
+        tables = []
+        for ap_id in [a, b, b, b]:
+            table = AnchorObjectTable()
+            table.set_distribution("o1", {ap_id: 1.0})
+            tables.append(table)
+        for second in (0, 1):  # leaves a pending candidate at count 1
+            cold.observe_snapshot(_FakeSnapshot(second, tables[second]))
+        state = json.loads(json.dumps(cold.state_dict()))
+        warm.restore_state(state)
+        assert warm.state_dict() == cold.state_dict()
+        for second in (2, 3):  # commit happens after the restore
+            cold.observe_snapshot(_FakeSnapshot(second, tables[second]))
+            warm.observe_snapshot(_FakeSnapshot(second, tables[second]))
+        assert warm.state_dict() == cold.state_dict()
+        assert warm.flow_events == 1
+
+    def test_rejects_nonpositive_hysteresis(self, replayed):
+        service, _, _ = replayed
+        with pytest.raises(ValueError):
+            AnalyticsEngine(service.plan, service.anchor_index, flow_hysteresis=0)
+        with pytest.raises(ValueError):
+            NaiveAnalytics(service.plan, service.anchor_index, flow_hysteresis=0)
+
+
+# ----------------------------------------------------------------------
 # checkpoint resume
 # ----------------------------------------------------------------------
 class TestCheckpointResume:
