@@ -22,7 +22,7 @@ layer  packages
 10    ``symbolic``
 11    ``sim``
 12    ``service``
-13    ``bench``, ``analysis``
+13    ``bench``, ``analysis``, ``gateway``
 14    ``cli``
 ====  =================================
 
@@ -76,6 +76,7 @@ LAYERS: Dict[str, int] = {
     "service": 12,
     "bench": 13,
     "analysis": 13,
+    "gateway": 13,
     "cli": 14,
 }
 

@@ -56,7 +56,7 @@ DEFAULT_SCHEMA_LOCK = "schema.lock.json"
 
 #: Packages whose state producers are part of the locked surface.
 SCHEMA_PACKAGES = frozenset(
-    {"core", "cache", "collector", "filters", "service", "analytics"}
+    {"core", "cache", "collector", "filters", "service", "analytics", "gateway"}
 )
 
 #: Function names treated as schema producers.

@@ -507,6 +507,104 @@ def build_parser() -> argparse.ArgumentParser:
     a_report.add_argument(
         "--json", action="store_true", help="print the raw JSON document"
     )
+
+    gateway = subparsers.add_parser(
+        "gateway",
+        help=(
+            "partitioned multi-process tracking behind a multi-tenant "
+            "HTTP query gateway"
+        ),
+    )
+    tenant_source = gateway.add_mutually_exclusive_group()
+    tenant_source.add_argument(
+        "--tenants", metavar="JSON",
+        help="tenant spec file (a list of {tenant_id, seed, num_objects, plan})",
+    )
+    tenant_source.add_argument(
+        "--demo-tenants", type=int, default=2, metavar="N",
+        help="serve N synthetic tenants with distinct seeds (default: 2)",
+    )
+    gateway.add_argument(
+        "--plan", default="paper", metavar="PRESET",
+        help="floorplan preset for --demo-tenants (paper/small/linear/cross)",
+    )
+    gateway.add_argument(
+        "--objects", type=int, default=8, metavar="N",
+        help="objects per demo tenant (default: 8)",
+    )
+    gateway.add_argument(
+        "--base-seed", type=int, default=101, metavar="SEED",
+        help="seed of the first demo tenant (default: 101)",
+    )
+    gateway.add_argument(
+        "--partitions", type=int, default=None, metavar="N",
+        help=(
+            "worker partitions on the consistent-hash ring "
+            "(default: 2, or the checkpoint's count with --restore)"
+        ),
+    )
+    gateway.add_argument(
+        "--transport", choices=("process", "inline"), default="process",
+        help="worker transport (inline = single-process debug baseline)",
+    )
+    gateway.add_argument(
+        "--queue-depth", type=int, default=64, metavar="N",
+        help="per-partition ingest queue bound (default: 64)",
+    )
+    gateway.add_argument(
+        "--shed-policy", choices=("block", "shed"), default="block",
+        help=(
+            "full-queue policy: block (lossless backpressure, default) "
+            "or shed the oldest queued sub-tick"
+        ),
+    )
+    gateway.add_argument(
+        "--seconds", type=int, default=30, metavar="N",
+        help="simulated seconds to stream per tenant (default: 30)",
+    )
+    gateway.add_argument(
+        "--http-port", type=int, default=None, metavar="PORT",
+        help=(
+            "serve the HTTP query gateway (range/kNN/sessions/analytics "
+            "+ /metrics, /healthz) on this port (0 = pick a free port); "
+            "implies observability"
+        ),
+    )
+    gateway.add_argument(
+        "--http-host", default="127.0.0.1", metavar="HOST",
+        help="bind address for --http-port (default: 127.0.0.1)",
+    )
+    gateway.add_argument(
+        "--linger", type=float, default=0.0, metavar="SECONDS",
+        help="keep serving HTTP this long after the stream ends",
+    )
+    gateway.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="rolling per-partition checkpoint directory",
+    )
+    gateway.add_argument(
+        "--checkpoint-interval", type=int, default=0, metavar="TICKS",
+        help="checkpoint every N seconds of stream (plus once at end)",
+    )
+    gateway.add_argument(
+        "--restore", action="store_true",
+        help="resume from --checkpoint-dir (partition count may differ)",
+    )
+    gateway.add_argument(
+        "--analytics", action="store_true",
+        help="attach per-tenant analytics engines (adds /analytics data)",
+    )
+    gateway.add_argument(
+        "--range", action="append", metavar="X1,Y1,X2,Y2", default=[],
+        help="standing range query opened for every tenant (repeatable)",
+    )
+    gateway.add_argument(
+        "--knn", action="append", metavar="X,Y,K", default=[],
+        help="standing kNN query opened for every tenant (repeatable)",
+    )
+    gateway.add_argument(
+        "--quiet", action="store_true", help="suppress per-delta output"
+    )
     return parser
 
 
@@ -525,6 +623,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": _cmd_bench,
         "lint": _cmd_lint,
         "analytics": _cmd_analytics,
+        "gateway": _cmd_gateway,
     }[args.command]
     return handler(args)
 
@@ -1418,6 +1517,154 @@ def _cmd_analytics_report(args: argparse.Namespace) -> int:
     else:
         print(render_window(report))
     return 0
+
+
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    """Partitioned multi-tenant tracking behind the HTTP query gateway."""
+    import time as _time
+
+    from repro.gateway import (
+        GatewayCoordinator,
+        GatewayServer,
+        TenantWorld,
+        demo_tenants,
+        load_tenants,
+        restore_coordinator,
+        save_checkpoint,
+    )
+    from repro.gateway.checkpoint import GatewayCompatibilityError
+    from repro.service import LiveSimSource
+    from repro.sim import Simulation
+
+    if args.tenants:
+        specs = load_tenants(args.tenants)
+    else:
+        specs = demo_tenants(
+            args.demo_tenants,
+            base_seed=args.base_seed,
+            num_objects=args.objects,
+            plan=args.plan,
+        )
+    if args.restore and not args.checkpoint_dir:
+        raise SystemExit("repro: error: --restore needs --checkpoint-dir")
+
+    obs_session = args.http_port is not None
+    if obs_session and not obs.enabled():
+        obs.enable()
+
+    if args.restore:
+        try:
+            coordinator = restore_coordinator(
+                args.checkpoint_dir,
+                tenants=specs if args.tenants else None,
+                num_partitions=args.partitions,
+                transport=args.transport,
+                queue_depth=args.queue_depth,
+                shed_policy=args.shed_policy,
+            )
+        except GatewayCompatibilityError as exc:
+            raise SystemExit(f"repro: error: {exc}") from None
+        specs = list(coordinator.tenants.values())
+        print(
+            f"restored {len(specs)} tenant(s) from {args.checkpoint_dir} "
+            f"at {coordinator.num_partitions} partition(s)"
+        )
+    else:
+        coordinator = GatewayCoordinator(
+            specs,
+            num_partitions=args.partitions if args.partitions is not None else 2,
+            transport=args.transport,
+            queue_depth=args.queue_depth,
+            shed_policy=args.shed_policy,
+        )
+    server = None
+    exit_code = 0
+    try:
+        if args.analytics:
+            coordinator.enable_analytics()
+        for spec in specs:
+            for range_spec in args.range:
+                coordinator.subscribe_range(
+                    spec.tenant_id, _parse_range_spec(range_spec)
+                )
+            for knn_spec in args.knn:
+                point, k = _parse_knn_spec(knn_spec)
+                coordinator.subscribe_knn(spec.tenant_id, point, k)
+
+        if args.http_port is not None:
+            server = GatewayServer(
+                coordinator, host=args.http_host, port=args.http_port
+            ).start()
+            print(f"gateway http on {server.url}")
+
+        # Per-tenant live sources; a restored tenant's simulation is
+        # replayed to its checkpointed second first, so the stream
+        # resumes exactly where the checkpoint stopped.
+        sources = {}
+        for spec in specs:
+            world = TenantWorld(spec)
+            sim = Simulation(
+                world.config, plan=world.plan, readers=world.readers,
+                build_symbolic=False,
+            )
+            health = coordinator.health()
+            last = health["tenants"][spec.tenant_id]["last_second"]
+            if last is not None:
+                sim.run_until(last)
+            sources[spec.tenant_id] = iter(
+                LiveSimSource(sim, args.seconds).batches()
+            )
+
+        streamed = 0
+        for _step in range(args.seconds):
+            for spec in specs:
+                coordinator.submit_tick(spec.tenant_id, next(sources[spec.tenant_id]))
+            for _spec in specs:
+                tenant_id, _second, deltas = coordinator.collect_tick()
+                if not args.quiet:
+                    for delta in deltas:
+                        if not delta.is_empty:
+                            print(f"{tenant_id} {_format_delta(delta)}")
+            streamed += 1
+            if (
+                args.checkpoint_dir
+                and args.checkpoint_interval
+                and streamed % args.checkpoint_interval == 0
+            ):
+                save_checkpoint(coordinator, args.checkpoint_dir)
+                if not args.quiet:
+                    print(f"checkpoint -> {args.checkpoint_dir}")
+        if args.checkpoint_dir:
+            save_checkpoint(coordinator, args.checkpoint_dir)
+            print(f"checkpoint -> {args.checkpoint_dir}")
+
+        health = coordinator.health()
+        print(
+            f"served {streamed} second(s) x {len(specs)} tenant(s) over "
+            f"{coordinator.num_partitions} partition(s) "
+            f"[{health['status']}]"
+        )
+        for tenant_id, record in sorted(health["tenants"].items()):  # type: ignore[union-attr]
+            line = (
+                f"  {tenant_id}: ticks={record['ticks']} "
+                f"last_second={record['last_second']} "
+                f"sessions={record['open_sessions']}"
+            )
+            if record["partial_ticks"]:
+                line += f" partial={record['partial_ticks']}"
+            if args.analytics:
+                summary = coordinator.analytics_summary(tenant_id)
+                line += f" analytics_epochs={summary['epochs']}"
+            print(line)
+        if server is not None and args.linger > 0:
+            _time.sleep(args.linger)
+    finally:
+        if server is not None:
+            server.stop()
+        coordinator.close()
+        if obs_session:
+            obs.disable()
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via console script

@@ -1,0 +1,526 @@
+"""The gateway coordinator: ingest fan-out, snapshot fan-in, serving.
+
+One :class:`GatewayCoordinator` owns the whole deployment:
+
+* the consistent-hash **ring** mapping every ``(tenant, object)`` to a
+  worker partition;
+* the worker **handles** (inline or forked; see
+  :mod:`repro.gateway.transport`);
+* per-tenant **serving state** — the last merged snapshot, the standing
+  query sessions, and (optionally) the analytics engine. Queries are
+  answered here, at the gateway, from merged snapshots; workers only
+  filter.
+
+Write path: :meth:`submit_tick` splits a tenant's second of readings by
+ring owner and enqueues one sub-tick per partition — *every* partition,
+including ones whose slice is empty, because previously seen objects
+keep filtering on quiet seconds. :meth:`collect_tick` barriers on the
+sub-snapshots of the oldest outstanding tick, merges them in partition
+order (object sets are disjoint, so merge order cannot change the
+table), publishes the merged snapshot, and fans session deltas out.
+
+Consistency: per-object RNG streams + disjoint per-partition object
+sets + order-insensitive query evaluation ⇒ the merged table is
+bit-identical to a single-process :class:`TrackingService` run at any
+partition count. The tests assert this for 1, 2, and 4 partitions.
+
+Failure: a dead worker degrades the deployment instead of failing it —
+its sub-snapshots stop arriving, ticks complete as *partial* over the
+surviving partitions, :meth:`health` reports ``degraded``, and queries
+keep answering from what survives. Shed sub-ticks (opt-in ``"shed"``
+queue policy) are handled the same way: the barrier is told not to wait
+for them.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import repro.obs as obs
+from repro.analytics.engine import AnalyticsEngine
+from repro.geometry import Point, Rect
+from repro.graph.anchors import AnchorIndex, build_anchor_index
+from repro.graph.walking_graph import WalkingGraph, build_walking_graph
+from repro.index.hashtable import AnchorObjectTable
+from repro.queries.continuous import ResultDelta
+from repro.queries.knn_query import evaluate_knn_query
+from repro.queries.range_query import evaluate_range_query
+from repro.queries.types import KNNQuery, KNNResult, RangeQuery, RangeResult
+from repro.service.ingest import ReadingBatch
+from repro.service.sessions import SessionManager
+from repro.service.tracking import ServiceSnapshot
+
+from repro.gateway.partitioning import DEFAULT_VNODES, HashRing
+from repro.gateway.tenants import TenantSpec, TenantWorld, validate_tenants
+from repro.gateway.transport import (
+    DEFAULT_QUEUE_DEPTH,
+    GatewayWorkerError,
+    make_worker_handles,
+)
+from repro.gateway.worker import encode_readings
+
+
+class GatewayError(RuntimeError):
+    """A gateway-level operational failure."""
+
+
+class GatewayProtocolError(GatewayError):
+    """A worker reply that violates the fan-in protocol (FIFO mismatch)."""
+
+
+@dataclass
+class _TenantServing:
+    """Gateway-side state of one tenant (never crosses a process)."""
+
+    world: TenantWorld
+    graph: WalkingGraph
+    anchor_index: AnchorIndex
+    sessions: SessionManager
+    snapshot: ServiceSnapshot
+    analytics: Optional[AnalyticsEngine] = None
+    ticks: int = 0
+    last_second: Optional[int] = None
+    partial_ticks: int = 0
+    shed_subticks: int = 0
+
+
+@dataclass
+class _PendingTick:
+    tenant_id: str
+    second: int
+    parts: List[int] = field(default_factory=list)
+
+
+class GatewayCoordinator:
+    """Partitioned multi-tenant tracking behind one serving surface."""
+
+    def __init__(
+        self,
+        tenants: Sequence[TenantSpec],
+        num_partitions: int = 2,
+        transport: str = "process",
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        shed_policy: str = "block",
+        vnodes: int = DEFAULT_VNODES,
+        report_threshold: float = 0.05,
+        min_change: float = 0.10,
+    ) -> None:
+        specs = validate_tenants(tenants)
+        self.num_partitions = num_partitions
+        self.transport = transport
+        self.ring = HashRing(num_partitions, vnodes)
+        self.tenants: Dict[str, TenantSpec] = {
+            spec.tenant_id: spec for spec in specs
+        }
+        self._serving: Dict[str, _TenantServing] = {}
+        for spec in specs:
+            world = TenantWorld(spec)
+            graph = build_walking_graph(world.plan)
+            anchor_index = build_anchor_index(graph, world.config.anchor_spacing)
+            self._serving[spec.tenant_id] = _TenantServing(
+                world=world,
+                graph=graph,
+                anchor_index=anchor_index,
+                sessions=SessionManager(
+                    world.plan,
+                    graph,
+                    anchor_index,
+                    report_threshold=report_threshold,
+                    min_change=min_change,
+                ),
+                snapshot=ServiceSnapshot(second=-1, table=AnchorObjectTable()),
+            )
+        self.handles = make_worker_handles(
+            specs, num_partitions, transport, queue_depth, shed_policy
+        )
+        # One reentrant lock guards serving state and the pending queue;
+        # HTTP handler threads read under it while the ingest loop
+        # publishes under it.
+        self._lock = threading.RLock()
+        self._pending: Deque[_PendingTick] = deque()
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def submit_tick(self, tenant_id: str, batch: ReadingBatch) -> None:
+        """Fan one tenant-second out to every live partition."""
+        self._tenant(tenant_id)  # validate
+        split: Dict[int, List[dict]] = {
+            handle.index: [] for handle in self.handles  # type: ignore[attr-defined]
+        }
+        for reading in batch.readings:
+            partition = self.ring.partition_of(tenant_id, reading.tag_id)
+            split[partition].append(
+                {
+                    "time": reading.time,
+                    "tag_id": reading.tag_id,
+                    "reader_id": reading.reader_id,
+                }
+            )
+        entry = _PendingTick(tenant_id=tenant_id, second=batch.second)
+        with self._lock:
+            self._pending.append(entry)
+        for handle in self.handles:
+            if not handle.alive():  # type: ignore[attr-defined]
+                continue
+            message = {
+                "op": "tick",
+                "tenant": tenant_id,
+                "second": batch.second,
+                "readings": split[handle.index],  # type: ignore[attr-defined]
+            }
+            shed = handle.submit_tick(message)  # type: ignore[attr-defined]
+            own_shed = False
+            for shed_tenant, shed_second in shed:
+                if shed_tenant == tenant_id and shed_second == batch.second:
+                    own_shed = True
+                self._record_shed(shed_tenant, shed_second, handle.index)  # type: ignore[attr-defined]
+            if not own_shed:
+                with self._lock:
+                    entry.parts.append(handle.index)  # type: ignore[attr-defined]
+        if obs.enabled():
+            obs.add(
+                "gateway.readings",
+                len(batch.readings),
+                labels={"tenant": tenant_id},
+            )
+            obs.add("gateway.subticks", len(entry.parts), labels={"tenant": tenant_id})
+
+    def _record_shed(self, tenant_id: str, second: int, partition: int) -> None:
+        """Un-expect a shed sub-tick so fan-in never waits for it."""
+        with self._lock:
+            for entry in self._pending:
+                if (
+                    entry.tenant_id == tenant_id
+                    and entry.second == second
+                    and partition in entry.parts
+                ):
+                    entry.parts.remove(partition)
+                    break
+            serving = self._serving.get(tenant_id)
+            if serving is not None:
+                serving.shed_subticks += 1
+        obs.add(
+            "gateway.shed_subticks",
+            labels={"tenant": tenant_id, "partition": partition},
+        )
+
+    def collect_tick(
+        self, timeout: Optional[float] = 30.0
+    ) -> Tuple[str, int, List[ResultDelta]]:
+        """Barrier on the oldest outstanding tick; publish its merge.
+
+        Returns ``(tenant_id, second, session deltas)``. Partitions that
+        died since submit simply stop contributing — the tick completes
+        as partial and health turns ``degraded``.
+        """
+        with self._lock:
+            if not self._pending:
+                raise GatewayError("no outstanding tick to collect")
+            entry = self._pending.popleft()
+        replies: Dict[int, dict] = {}
+        missing: List[int] = []
+        for index in list(entry.parts):
+            reply = self.handles[index].next_snapshot(timeout=timeout)  # type: ignore[attr-defined]
+            if reply is None:
+                missing.append(index)
+                continue
+            if (
+                reply.get("tenant") != entry.tenant_id
+                or reply.get("second") != entry.second
+            ):
+                raise GatewayProtocolError(
+                    f"partition {index} replied for "
+                    f"({reply.get('tenant')!r}, {reply.get('second')!r}) "
+                    f"while collecting ({entry.tenant_id!r}, {entry.second})"
+                )
+            replies[index] = reply
+        merged = AnchorObjectTable()
+        candidates: set = set()
+        for index in sorted(replies):
+            reply = replies[index]
+            entries = reply["entries"]
+            for object_id in sorted(entries):
+                merged.set_distribution(object_id, entries[object_id])
+            candidates.update(reply["candidates"])
+        snapshot = ServiceSnapshot(
+            second=entry.second, table=merged, candidates=frozenset(candidates)
+        )
+        with self._lock:
+            serving = self._serving[entry.tenant_id]
+            serving.snapshot = snapshot
+            serving.ticks += 1
+            serving.last_second = entry.second
+            if missing:
+                serving.partial_ticks += 1
+            deltas = serving.sessions.publish(entry.second, merged)
+            if serving.analytics is not None:
+                serving.analytics.observe_snapshot(snapshot)
+        if obs.enabled():
+            labels = {"tenant": entry.tenant_id}
+            obs.add("gateway.ticks", labels=labels)
+            if missing:
+                obs.add("gateway.partial_ticks", labels=labels)
+            obs.gauge_set(
+                "gateway.tracked_objects", len(merged.objects()), labels=labels
+            )
+        return entry.tenant_id, entry.second, deltas
+
+    def process_batch(
+        self, tenant_id: str, batch: ReadingBatch
+    ) -> List[ResultDelta]:
+        """Submit + collect one tenant-second (the unpipelined path)."""
+        self.submit_tick(tenant_id, batch)
+        _, _, deltas = self.collect_tick()
+        return deltas
+
+    def pending_count(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # read path (served from merged snapshots at the gateway)
+    # ------------------------------------------------------------------
+    def _tenant(self, tenant_id: str) -> _TenantServing:
+        serving = self._serving.get(tenant_id)
+        if serving is None:
+            raise KeyError(f"unknown tenant {tenant_id!r}")
+        return serving
+
+    def tenant_ids(self) -> List[str]:
+        return list(self._serving)
+
+    def latest_snapshot(self, tenant_id: str) -> ServiceSnapshot:
+        with self._lock:
+            return self._tenant(tenant_id).snapshot
+
+    def query_range(
+        self, tenant_id: str, window: Rect, query_id: str = "gateway-range"
+    ) -> RangeResult:
+        serving = self._tenant(tenant_id)
+        with self._lock:
+            snapshot = serving.snapshot
+        obs.add("gateway.queries", labels={"tenant": tenant_id, "query": "range"})
+        return evaluate_range_query(
+            RangeQuery(query_id, window),
+            serving.world.plan,
+            serving.anchor_index,
+            snapshot.table,
+        )
+
+    def query_knn(
+        self, tenant_id: str, point: Point, k: int, query_id: str = "gateway-knn"
+    ) -> KNNResult:
+        serving = self._tenant(tenant_id)
+        with self._lock:
+            snapshot = serving.snapshot
+        obs.add("gateway.queries", labels={"tenant": tenant_id, "query": "knn"})
+        return evaluate_knn_query(
+            KNNQuery(query_id, point, k),
+            serving.graph,
+            serving.anchor_index,
+            snapshot.table,
+        )
+
+    # -- standing sessions ---------------------------------------------
+    def subscribe_range(
+        self, tenant_id: str, window: Rect, session_id: Optional[str] = None
+    ) -> str:
+        with self._lock:
+            return self._tenant(tenant_id).sessions.subscribe_range(
+                window, session_id=session_id
+            )
+
+    def subscribe_knn(
+        self,
+        tenant_id: str,
+        point: Point,
+        k: int,
+        session_id: Optional[str] = None,
+    ) -> str:
+        with self._lock:
+            return self._tenant(tenant_id).sessions.subscribe_knn(
+                point, k, session_id=session_id
+            )
+
+    def unsubscribe(self, tenant_id: str, session_id: str) -> bool:
+        with self._lock:
+            return self._tenant(tenant_id).sessions.unsubscribe(session_id)
+
+    def session_result(self, tenant_id: str, session_id: str) -> Dict[str, float]:
+        with self._lock:
+            return self._tenant(tenant_id).sessions.current_result(session_id)
+
+    def sessions_info(self, tenant_id: str) -> List[Dict[str, object]]:
+        with self._lock:
+            subs = self._tenant(tenant_id).sessions.subscriptions()
+            return [
+                {
+                    "session_id": sub.session_id,
+                    "kind": sub.kind,
+                    "deltas_delivered": sub.deltas_delivered,
+                    "description": sub.describe(),
+                }
+                for sub in subs
+            ]
+
+    # -- analytics ------------------------------------------------------
+    def enable_analytics(self, tenant_id: Optional[str] = None) -> None:
+        """Attach analytics engines (all tenants, or one)."""
+        with self._lock:
+            targets = [tenant_id] if tenant_id is not None else self.tenant_ids()
+            for tid in targets:
+                serving = self._tenant(tid)
+                if serving.analytics is None:
+                    serving.analytics = AnalyticsEngine(
+                        serving.world.plan, serving.anchor_index
+                    )
+
+    def analytics_summary(self, tenant_id: str) -> Dict[str, object]:
+        with self._lock:
+            serving = self._tenant(tenant_id)
+            if serving.analytics is None:
+                raise GatewayError(
+                    f"analytics is not enabled for tenant {tenant_id!r}; "
+                    "start the gateway with analytics on"
+                )
+            return serving.analytics.summary()
+
+    # ------------------------------------------------------------------
+    # health / checkpoint support
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, object]:
+        """The deployment health document (the ``/healthz`` body)."""
+        workers = []
+        dead = 0
+        for handle in self.handles:
+            alive = handle.alive()  # type: ignore[attr-defined]
+            if not alive:
+                dead += 1
+            workers.append(
+                {
+                    "partition": handle.index,  # type: ignore[attr-defined]
+                    "alive": alive,
+                    "transport": handle.transport,  # type: ignore[attr-defined]
+                }
+            )
+        with self._lock:
+            tenants = {
+                tenant_id: {
+                    "ticks": serving.ticks,
+                    "last_second": serving.last_second,
+                    "partial_ticks": serving.partial_ticks,
+                    "shed_subticks": serving.shed_subticks,
+                    "open_sessions": len(serving.sessions),
+                    "analytics": serving.analytics is not None,
+                }
+                for tenant_id, serving in self._serving.items()
+            }
+            pending = len(self._pending)
+        degraded = dead > 0 or any(t["partial_ticks"] for t in tenants.values())
+        return {
+            "status": "degraded" if degraded else "ok",
+            "partitions": self.num_partitions,
+            "dead_partitions": dead,
+            "pending_ticks": pending,
+            "workers": workers,
+            "tenants": tenants,
+        }
+
+    def ready(self) -> bool:
+        """Every tenant has published at least one snapshot."""
+        with self._lock:
+            return all(serving.ticks > 0 for serving in self._serving.values())
+
+    def partition_states(self) -> Dict[int, Dict[str, dict]]:
+        """Every live partition's per-tenant service state (for checkpoints).
+
+        Refuses while ticks are outstanding (worker state would run
+        ahead of the gateway's session/analytics state) or while any
+        partition is dead (its slice of the world would be silently
+        dropped from the checkpoint).
+        """
+        with self._lock:
+            if self._pending:
+                raise GatewayError(
+                    "collect all outstanding ticks before checkpointing"
+                )
+        states: Dict[int, Dict[str, dict]] = {}
+        for handle in self.handles:
+            if not handle.alive():  # type: ignore[attr-defined]
+                raise GatewayError(
+                    f"cannot checkpoint: partition {handle.index} is dead"  # type: ignore[attr-defined]
+                )
+            reply = handle.call({"op": "state"}, timeout=60.0)  # type: ignore[attr-defined]
+            states[handle.index] = reply["tenants"]  # type: ignore[attr-defined]
+        return states
+
+    def state_dict(self) -> dict:
+        """The gateway-level manifest state (ring, tenants, serving)."""
+        with self._lock:
+            return {
+                "partitions": self.num_partitions,
+                "vnodes": self.ring.vnodes,
+                "tenants": [spec.to_dict() for spec in self.tenants.values()],
+                "serving": {
+                    tenant_id: {
+                        "ticks": serving.ticks,
+                        "last_second": serving.last_second,
+                        "partial_ticks": serving.partial_ticks,
+                        "shed_subticks": serving.shed_subticks,
+                        "sessions": serving.sessions.state_dict(),
+                        "analytics": (
+                            serving.analytics.state_dict()
+                            if serving.analytics is not None
+                            else None
+                        ),
+                    }
+                    for tenant_id, serving in self._serving.items()
+                },
+            }
+
+    def restore_serving(self, state: Dict[str, dict]) -> None:
+        """Restore gateway-side per-tenant state from a manifest."""
+        with self._lock:
+            for tenant_id, record in state.items():
+                serving = self._tenant(tenant_id)
+                serving.ticks = int(record["ticks"])
+                last = record["last_second"]
+                serving.last_second = None if last is None else int(last)
+                serving.partial_ticks = int(record.get("partial_ticks", 0))
+                serving.shed_subticks = int(record.get("shed_subticks", 0))
+                serving.sessions.restore_state(record["sessions"])
+                analytics_state = record.get("analytics")
+                if analytics_state is not None:
+                    self.enable_analytics(tenant_id)
+                    analytics = serving.analytics
+                    assert analytics is not None
+                    analytics.restore_state(analytics_state)
+
+    def restore_partitions(self, slices: Dict[int, Dict[str, dict]]) -> None:
+        """Push checkpoint slices into the workers (one call each)."""
+        for handle in self.handles:
+            payload = slices.get(handle.index)  # type: ignore[attr-defined]
+            if payload is None:
+                continue
+            try:
+                handle.call({"op": "restore", "tenants": payload}, timeout=60.0)  # type: ignore[attr-defined]
+            except GatewayWorkerError as exc:
+                raise GatewayError(
+                    f"restore failed on partition {handle.index}: {exc}"  # type: ignore[attr-defined]
+                ) from exc
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut every worker down (idempotent)."""
+        for handle in self.handles:
+            handle.close()  # type: ignore[attr-defined]
+
+    def __enter__(self) -> "GatewayCoordinator":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,192 @@
+"""The partition worker: one tracking slice per tenant, message-driven.
+
+A worker owns *its ring slice* of every tenant's objects and runs one
+:class:`~repro.service.tracking.TrackingService` per tenant over that
+slice (serial mode, single shard — cross-process parallelism replaces
+in-process sharding here). The gateway talks to workers through a tiny
+op-code protocol of picklable dicts:
+
+=========  ===========================================================
+op         meaning
+=========  ===========================================================
+tick       ingest one tenant-second of readings, filter, reply with
+           the slice's snapshot (``op: snapshot``)
+state      reply with every tenant service's full ``state_dict``
+restore    restore every tenant service from checkpoint slices
+ping       liveness probe; replies per-tenant tick counters
+stop       clean shutdown (reply ``op: bye``, then exit)
+=========  ===========================================================
+
+Determinism: filter randomness is derived from
+``(seed, second, object_id)``, and a worker ticks *every* second of its
+tenants (even with an empty slice of readings — previously seen objects
+must keep filtering), so worker output is bit-identical to the same
+objects tracked in a single process. The gateway's fan-in relies on
+exactly this.
+
+:class:`PartitionWorkerCore` is transport-agnostic (a plain
+message-in/reply-out object), which lets the inline transport and the
+tests drive it without any process machinery; :func:`worker_main` is
+the forked child's receive loop around it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.rfid.readings import RawReading
+from repro.service.ingest import ReadingBatch
+from repro.service.tracking import TrackingService
+
+from repro.gateway.tenants import TenantSpec, TenantWorld
+
+
+def encode_readings(readings: Sequence[RawReading]) -> List[dict]:
+    """Readings as picklable primitive dicts (the wire shape)."""
+    return [
+        {"time": reading.time, "tag_id": reading.tag_id, "reader_id": reading.reader_id}
+        for reading in readings
+    ]
+
+
+def decode_readings(records: Sequence[Mapping[str, object]]) -> Tuple[RawReading, ...]:
+    """Inverse of :func:`encode_readings`."""
+    return tuple(
+        RawReading(
+            time=float(record["time"]),  # type: ignore[arg-type]
+            tag_id=str(record["tag_id"]),
+            reader_id=str(record["reader_id"]),
+        )
+        for record in records
+    )
+
+
+class WorkerProtocolError(RuntimeError):
+    """A message the worker cannot interpret."""
+
+
+class PartitionWorkerCore:
+    """One partition's tenant services plus the op-code dispatch."""
+
+    def __init__(self, index: int, specs: Sequence[TenantSpec]) -> None:
+        self.index = index
+        self.services: Dict[str, TrackingService] = {}
+        for spec in specs:
+            world = TenantWorld(spec)
+            self.services[spec.tenant_id] = TrackingService(
+                world.config,
+                plan=world.plan,
+                readers=world.readers,
+                num_shards=1,
+                mode="serial",
+                use_cache=True,
+                seed=spec.seed,
+                filter_backend=spec.filter_backend,
+            )
+
+    # ------------------------------------------------------------------
+    def handle(self, message: Mapping[str, object]) -> dict:
+        """Dispatch one protocol message; always returns a reply dict."""
+        op = message.get("op")
+        if op == "tick":
+            return self._tick(message)
+        if op == "state":
+            return {
+                "op": "state",
+                "partition": self.index,
+                "tenants": {
+                    tenant_id: service.state_dict()
+                    for tenant_id, service in self.services.items()
+                },
+            }
+        if op == "restore":
+            states = message["tenants"]
+            assert isinstance(states, dict)
+            for tenant_id, state in states.items():
+                self._service(tenant_id).restore_state(state)
+            return {"op": "ok", "partition": self.index}
+        if op == "ping":
+            return {
+                "op": "pong",
+                "partition": self.index,
+                "tenants": {
+                    tenant_id: {
+                        "ticks": service.ticks,
+                        "last_second": service.last_second,
+                    }
+                    for tenant_id, service in self.services.items()
+                },
+            }
+        if op == "stop":
+            return {"op": "bye", "partition": self.index}
+        raise WorkerProtocolError(f"unknown op {op!r}")
+
+    def _service(self, tenant_id: object) -> TrackingService:
+        service = self.services.get(str(tenant_id))
+        if service is None:
+            raise WorkerProtocolError(
+                f"partition {self.index} hosts no tenant {tenant_id!r}"
+            )
+        return service
+
+    def _tick(self, message: Mapping[str, object]) -> dict:
+        tenant_id = str(message["tenant"])
+        second = int(message["second"])  # type: ignore[arg-type]
+        service = self._service(tenant_id)
+        readings = decode_readings(message["readings"])  # type: ignore[arg-type]
+        service.process_batch(ReadingBatch(second=second, readings=readings))
+        snapshot = service.snapshot()
+        table = snapshot.table
+        return {
+            "op": "snapshot",
+            "partition": self.index,
+            "tenant": tenant_id,
+            "second": second,
+            "entries": {
+                object_id: dict(table.distribution_of(object_id))
+                for object_id in sorted(table.objects())
+            },
+            "candidates": sorted(snapshot.candidates),
+        }
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        for service in self.services.values():
+            service.close()
+
+
+def worker_main(conn: object, index: int, spec_records: Sequence[dict]) -> None:
+    """Forked child entry point: serve protocol messages until EOF/stop.
+
+    Protocol errors are reported as ``op: error`` replies rather than
+    killing the worker — one bad message must not take a partition (and
+    its tenants' filter state) down with it.
+    """
+    specs = [TenantSpec.from_dict(record) for record in spec_records]
+    core = PartitionWorkerCore(index, specs)
+    try:
+        while True:
+            try:
+                message = conn.recv()  # type: ignore[attr-defined]
+            except (EOFError, OSError):
+                break
+            try:
+                reply = core.handle(message)
+            except Exception as exc:  # noqa: BLE001 - reported to the gateway
+                reply = {
+                    "op": "error",
+                    "partition": index,
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+            try:
+                conn.send(reply)  # type: ignore[attr-defined]
+            except (BrokenPipeError, OSError):
+                break
+            if reply.get("op") == "bye":
+                break
+    finally:
+        core.close()
+        try:
+            conn.close()  # type: ignore[attr-defined]
+        except OSError:  # pragma: no cover - already gone
+            pass

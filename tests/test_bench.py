@@ -174,7 +174,7 @@ class TestSuite:
         assert first["format"] == RESULT_FORMAT
         assert set(first["workloads"]) == {
             "filter_replay", "service_replay", "query_eval",
-            "profiler_overhead", "analytics_replay",
+            "profiler_overhead", "analytics_replay", "gateway_throughput",
         }
         for name, workload in first["workloads"].items():
             assert workload["wall_seconds"] > 0.0

@@ -1,0 +1,248 @@
+"""Coordinated gateway checkpoints: resume ≡ cold run, re-partitioning.
+
+The restore guarantee under test: checkpoint a deployment mid-stream,
+restore it — at the same *or a different* partition count — and the
+continued run is tick-for-tick identical to one that never stopped:
+same snapshots, same standing-query deltas, same analytics summaries.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.gateway import (
+    GatewayCompatibilityError,
+    GatewayCoordinator,
+    TenantSpec,
+    TenantWorld,
+    demo_tenants,
+    load_checkpoint,
+    merge_tenant_states,
+    restore_coordinator,
+    save_checkpoint,
+)
+from repro.gateway.checkpoint import MANIFEST_NAME, partition_filename
+from repro.geometry import Point, Rect
+from repro.service import LiveSimSource
+from repro.sim import Simulation
+
+TOTAL_SECONDS = 10
+CUT_AT = 5  # checkpoint after this many seconds
+WINDOW = Rect(0.0, 0.0, 12.0, 12.0)
+KNN_POINT = Point(5.0, 5.0)
+
+
+def _specs():
+    return demo_tenants(2, base_seed=23, num_objects=4, plan="small")
+
+
+@pytest.fixture(scope="module")
+def tenant_batches():
+    out = {}
+    for spec in _specs():
+        world = TenantWorld(spec)
+        sim = Simulation(
+            world.config, plan=world.plan, readers=world.readers,
+            build_symbolic=False,
+        )
+        out[spec.tenant_id] = list(LiveSimSource(sim, TOTAL_SECONDS).batches())
+    return out
+
+
+def _new_coordinator(num_partitions=2):
+    coordinator = GatewayCoordinator(
+        _specs(), num_partitions=num_partitions, transport="inline"
+    )
+    coordinator.enable_analytics()
+    for spec in _specs():
+        coordinator.subscribe_range(spec.tenant_id, WINDOW, session_id="r0")
+        coordinator.subscribe_knn(spec.tenant_id, KNN_POINT, 2, session_id="k0")
+    return coordinator
+
+
+def _delta_key(delta):
+    return (delta.query_id, delta.second, delta.entered, delta.left, delta.updated)
+
+
+def _run(coordinator, tenant_batches, start, stop):
+    deltas = {tid: [] for tid in tenant_batches}
+    for step in range(start, stop):
+        for tid in tenant_batches:
+            coordinator.submit_tick(tid, tenant_batches[tid][step])
+        for _ in tenant_batches:
+            tid, _second, tick_deltas = coordinator.collect_tick()
+            deltas[tid].extend(_delta_key(d) for d in tick_deltas)
+    return deltas
+
+
+def _observables(coordinator, deltas):
+    """Everything the resume guarantee covers, in comparable form."""
+    out = {}
+    for tid in sorted(coordinator.tenant_ids()):
+        table = coordinator.latest_snapshot(tid).table
+        out[tid] = {
+            "table": {
+                obj: table.distribution_of(obj)
+                for obj in sorted(table.objects())
+            },
+            "deltas": deltas[tid],
+            "analytics": coordinator.analytics_summary(tid),
+            "sessions": {
+                "r0": coordinator.session_result(tid, "r0"),
+                "k0": coordinator.session_result(tid, "k0"),
+            },
+        }
+    return out
+
+
+@pytest.fixture(scope="module")
+def cold(tenant_batches):
+    """The uninterrupted reference run, and its tail deltas."""
+    coordinator = _new_coordinator()
+    with coordinator:
+        _run(coordinator, tenant_batches, 0, CUT_AT)
+        tail = _run(coordinator, tenant_batches, CUT_AT, TOTAL_SECONDS)
+        return _observables(coordinator, tail)
+
+
+@pytest.fixture(scope="module")
+def checkpoint_dir(tenant_batches, tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("gateway-ck"))
+    coordinator = _new_coordinator()
+    with coordinator:
+        _run(coordinator, tenant_batches, 0, CUT_AT)
+        save_checkpoint(coordinator, directory)
+    return directory
+
+
+class TestResume:
+    @pytest.mark.parametrize("num_partitions", [None, 3, 1])
+    def test_resumed_run_is_tick_identical_to_cold(
+        self, tenant_batches, cold, checkpoint_dir, num_partitions
+    ):
+        """Resume at the same (None), more, or fewer partitions."""
+        coordinator = restore_coordinator(
+            checkpoint_dir,
+            num_partitions=num_partitions,
+            transport="inline",
+        )
+        with coordinator:
+            expected = 2 if num_partitions is None else num_partitions
+            assert coordinator.num_partitions == expected
+            # Serving state resumed: ticks, open sessions, analytics.
+            health = coordinator.health()
+            for record in health["tenants"].values():
+                assert record["ticks"] == CUT_AT
+                # LiveSimSource seconds are 1-based.
+                assert record["last_second"] == CUT_AT
+                assert record["open_sessions"] == 2
+                assert record["analytics"] is True
+            tail = _run(coordinator, tenant_batches, CUT_AT, TOTAL_SECONDS)
+            assert _observables(coordinator, tail) == cold
+
+    def test_restore_pins_the_expected_tenant_set(self, checkpoint_dir):
+        same = restore_coordinator(
+            checkpoint_dir, tenants=_specs(), transport="inline"
+        )
+        same.close()
+
+    def test_manifest_is_the_commit_point(self, checkpoint_dir):
+        state, slices = load_checkpoint(checkpoint_dir)
+        assert state["partitions"] == 2
+        assert sorted(slices) == [0, 1]
+        for index in slices:
+            assert sorted(slices[index]) == ["tenant-0", "tenant-1"]
+
+
+class TestRefusals:
+    def test_tenant_set_mismatch_is_actionable(self, checkpoint_dir):
+        stranger = TenantSpec(tenant_id="tenant-9", seed=1, plan="small")
+        with pytest.raises(GatewayCompatibilityError) as excinfo:
+            restore_coordinator(
+                checkpoint_dir,
+                tenants=[_specs()[0], stranger],
+                transport="inline",
+            )
+        message = str(excinfo.value)
+        assert "tenant set mismatch" in message
+        assert "tenant-1" in message  # missing from the request
+        assert "tenant-9" in message  # not in the checkpoint
+
+    def test_changed_spec_is_refused(self, checkpoint_dir):
+        drifted = [
+            TenantSpec(
+                tenant_id=spec.tenant_id,
+                seed=spec.seed + 1,  # a reseeded tenant cannot resume
+                num_objects=spec.num_objects,
+                plan=spec.plan,
+            )
+            for spec in _specs()
+        ]
+        with pytest.raises(GatewayCompatibilityError, match="cannot resume"):
+            restore_coordinator(
+                checkpoint_dir, tenants=drifted, transport="inline"
+            )
+
+    def test_missing_partition_file_is_refused(self, checkpoint_dir, tmp_path):
+        import shutil
+
+        broken = tmp_path / "broken"
+        shutil.copytree(checkpoint_dir, broken)
+        os.remove(broken / partition_filename(1))
+        with pytest.raises(GatewayCompatibilityError, match="missing"):
+            load_checkpoint(str(broken))
+
+    def test_missing_manifest_is_refused(self, checkpoint_dir, tmp_path):
+        import shutil
+
+        broken = tmp_path / "no-manifest"
+        shutil.copytree(checkpoint_dir, broken)
+        os.remove(broken / MANIFEST_NAME)
+        with pytest.raises(GatewayCompatibilityError, match=MANIFEST_NAME):
+            load_checkpoint(str(broken))
+
+    def test_uncoordinated_cut_is_refused(self, checkpoint_dir, tmp_path):
+        import shutil
+
+        broken = tmp_path / "torn"
+        shutil.copytree(checkpoint_dir, broken)
+        path = broken / partition_filename(0)
+        document = json.loads(path.read_text())
+        document["tenants"]["tenant-0"]["ticks"] += 1
+        path.write_text(json.dumps(document))
+        with pytest.raises(GatewayCompatibilityError, match="coordinated"):
+            load_checkpoint(str(broken))
+
+
+class TestMerge:
+    def test_merge_is_canonical_across_partition_layouts(self, tenant_batches):
+        """2-way and 3-way slices of one run merge to the same state."""
+        merged = {}
+        for num_partitions in (2, 3):
+            coordinator = GatewayCoordinator(
+                _specs(), num_partitions=num_partitions, transport="inline"
+            )
+            with coordinator:
+                _run(coordinator, tenant_batches, 0, CUT_AT)
+                states = coordinator.partition_states()
+            merged[num_partitions] = {
+                tid: merge_tenant_states(
+                    [states[index][tid] for index in sorted(states)]
+                )
+                for tid in ("tenant-0", "tenant-1")
+            }
+        assert merged[2] == merged[3]
+
+    def test_merge_refuses_disagreeing_slices(self, tenant_batches):
+        coordinator = GatewayCoordinator(
+            _specs(), num_partitions=2, transport="inline"
+        )
+        with coordinator:
+            _run(coordinator, tenant_batches, 0, 2)
+            states = coordinator.partition_states()
+        slice_a = states[0]["tenant-0"]
+        slice_b = json.loads(json.dumps(states[1]["tenant-0"]))
+        slice_b["ticks"] += 1
+        with pytest.raises(GatewayCompatibilityError):
+            merge_tenant_states([slice_a, slice_b])

@@ -1,0 +1,161 @@
+"""The ``repro gateway`` subcommand and the gateway bench workload."""
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+
+FAST = [
+    "gateway",
+    "--demo-tenants", "2",
+    "--plan", "small",
+    "--objects", "4",
+    "--transport", "inline",
+]
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def _delta_lines(out):
+    return [line for line in out.splitlines() if "[t=" in line]
+
+
+class TestGatewayCommand:
+    def test_run_and_checkpoint(self, tmp_path, capsys):
+        directory = tmp_path / "ck"
+        code = main(
+            FAST + [
+                "--partitions", "2",
+                "--seconds", "4",
+                "--quiet",
+                "--checkpoint-dir", str(directory),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 4 second(s) x 2 tenant(s) over 2 partition(s) [ok]" in out
+        assert f"checkpoint -> {directory}" in out
+        assert (directory / "gateway.manifest.json").exists()
+
+    def test_restore_at_a_different_partition_count(self, tmp_path, capsys):
+        directory = tmp_path / "ck"
+        assert main(
+            FAST + [
+                "--partitions", "2",
+                "--seconds", "3",
+                "--quiet",
+                "--checkpoint-dir", str(directory),
+            ]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            FAST + [
+                "--restore",
+                "--checkpoint-dir", str(directory),
+                "--partitions", "3",
+                "--seconds", "2",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "restored 2 tenant(s)" in out
+        assert "at 3 partition(s)" in out
+        assert "served 2 second(s)" in out
+
+    def test_restore_defaults_to_the_checkpointed_partitions(
+        self, tmp_path, capsys
+    ):
+        directory = tmp_path / "ck"
+        assert main(
+            FAST + [
+                "--partitions", "2",
+                "--seconds", "2",
+                "--quiet",
+                "--checkpoint-dir", str(directory),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            FAST + [
+                "--restore",
+                "--checkpoint-dir", str(directory),
+                "--seconds", "1",
+                "--quiet",
+            ]
+        ) == 0
+        assert "at 2 partition(s)" in capsys.readouterr().out
+
+    def test_restore_needs_checkpoint_dir(self):
+        with pytest.raises(SystemExit):
+            main(FAST + ["--restore", "--seconds", "1"])
+
+    def test_partition_counts_print_identical_deltas(self, capsys):
+        runs = {}
+        for partitions in ("1", "2"):
+            assert main(
+                FAST + [
+                    "--partitions", partitions,
+                    "--seconds", "5",
+                    "--range", "0,0,12,12",
+                    "--knn", "5,5,2",
+                ]
+            ) == 0
+            runs[partitions] = _delta_lines(capsys.readouterr().out)
+        assert runs["1"], "expected at least one standing-query delta"
+        assert runs["1"] == runs["2"]
+
+    def test_analytics_flag(self, capsys):
+        assert main(
+            FAST + [
+                "--partitions", "2",
+                "--seconds", "3",
+                "--quiet",
+                "--analytics",
+            ]
+        ) == 0
+        assert "analytics_epochs=3" in capsys.readouterr().out
+
+    def test_bad_shed_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(FAST + ["--seconds", "1", "--shed-policy", "panic"])
+
+
+class TestGatewayBenchWorkload:
+    def test_registered_in_the_suite(self):
+        from repro.bench.suite import _WORKLOADS
+
+        assert "gateway_throughput" in {name for name, _fn in _WORKLOADS}
+
+    def test_smoke_run_shape_and_determinism(self):
+        from repro.bench.suite import _WORKLOADS
+
+        fn = dict(_WORKLOADS)["gateway_throughput"]
+        results = []
+        for _ in range(2):
+            obs.disable()
+            obs.reset()
+            results.append(fn("smoke", 7))
+        first, second = results
+        assert first.name == "gateway_throughput"
+        # The gated work counters are integral and run-to-run stable.
+        assert first.work == second.work
+        assert first.digest == second.digest
+        assert first.work["gateway.ticks"] > 0
+        assert first.work["gateway.subticks"] > 0
+        assert first.work["gateway.queries"] > 0
+        assert first.work["tenants"] == 2
+        assert first.work["partitions"] == 2
+        # Machine-dependent numbers live in stats, outside the gate.
+        for key in ("queries_per_second", "p50_latency_ms", "p99_latency_ms"):
+            assert key in first.stats
+        document = first.as_dict()
+        assert "stats" in document
+        assert set(document["stats"]) == set(first.stats)

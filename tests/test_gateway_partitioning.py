@@ -1,0 +1,81 @@
+"""The consistent-hash ring: determinism, coverage, resize stability."""
+
+import pytest
+
+from repro.gateway.partitioning import (
+    DEFAULT_VNODES,
+    HashRing,
+    hash_key,
+    ring_key,
+)
+
+OBJECTS = [f"object-{i}" for i in range(200)]
+
+
+class TestHashKey:
+    def test_deterministic_across_instances(self):
+        assert hash_key("tenant-0/object-1") == hash_key("tenant-0/object-1")
+
+    def test_64_bit_range(self):
+        for key in ("", "a", "tenant-0/object-1", "x" * 500):
+            assert 0 <= hash_key(key) < 2**64
+
+    def test_ring_key_namespaces_tenants(self):
+        assert ring_key("t0", "obj") == "t0/obj"
+        assert ring_key("t0", "obj") != ring_key("t1", "obj")
+
+
+class TestHashRing:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashRing(0)
+        with pytest.raises(ValueError):
+            HashRing(2, vnodes=0)
+
+    def test_same_geometry_same_placement(self):
+        one = HashRing(4)
+        two = HashRing(4)
+        for object_id in OBJECTS:
+            assert one.partition_of("t", object_id) == two.partition_of(
+                "t", object_id
+            )
+
+    def test_partitions_in_range(self):
+        ring = HashRing(3)
+        for object_id in OBJECTS:
+            assert 0 <= ring.partition_of("t", object_id) < 3
+
+    def test_spread_covers_every_partition(self):
+        ring = HashRing(4, vnodes=DEFAULT_VNODES)
+        groups = ring.spread("t", OBJECTS)
+        assert sorted(groups) == [0, 1, 2, 3]
+        assert all(groups[p] for p in groups)
+        assert sum(len(v) for v in groups.values()) == len(OBJECTS)
+
+    def test_tenants_are_partitioned_independently(self):
+        ring = HashRing(4)
+        placements = [
+            tuple(ring.partition_of(t, o) for o in OBJECTS[:50])
+            for t in ("tenant-0", "tenant-1")
+        ]
+        # Same object ids, different tenants -> (almost surely) not the
+        # same placement vector; the keyspaces are namespaced.
+        assert placements[0] != placements[1]
+
+    def test_resize_moves_a_minority_of_keys(self):
+        """Growing N -> N+1 must not reshuffle the world.
+
+        The whole point of consistent hashing: a restore at a different
+        partition count keeps most objects on their old partition.
+        Expected churn is ~1/(N+1); assert it stays well under half.
+        """
+        before = HashRing(4)
+        after = HashRing(5)
+        moved = sum(
+            1
+            for object_id in OBJECTS
+            if before.partition_of("t", object_id)
+            != after.partition_of("t", object_id)
+        )
+        assert moved < len(OBJECTS) / 2
+        assert moved > 0  # the new partition did take ownership of keys
