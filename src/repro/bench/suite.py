@@ -368,17 +368,25 @@ def _bench_analytics_replay(profile: str, seed: int) -> WorkloadResult:
 
 
 def _bench_gateway_throughput(profile: str, seed: int) -> WorkloadResult:
-    """Multi-tenant gateway serving: queries/sec and tail latency.
+    """Multi-tenant gateway serving: queries/sec, tail latency, telemetry tax.
 
     Stands up a partitioned gateway (inline transport — the forked
     transport is bit-identical, and forking would make the timing
     measure process spawn instead of serving), streams N tenants'
     simulated seconds through the fan-out/fan-in path, then hammers the
     read path with alternating range/kNN queries round-robin across
-    tenants. Query answers are seeded-deterministic and digested; the
-    derived queries-per-second and p50/p99 latency land in ``stats``,
-    outside the exact-compare gate (they measure the machine, not the
-    code's work profile).
+    tenants. The same deterministic batches are served twice: once with
+    telemetry disabled (that pass's wall clock is the gated
+    ``wall_seconds``, so the "observability off costs ~nothing" budget
+    is what regresses the gate) and once with telemetry enabled (the
+    source of the exact-compare work counters, which do not depend on
+    the obs switch, plus the enabled-path queries-per-second). Both
+    passes must produce byte-identical answers — the bench itself
+    enforces the telemetry bit-identity invariant. Query answers are
+    seeded-deterministic and digested; derived throughput, latency, and
+    the enabled/disabled overhead ratio land in ``stats``, outside the
+    exact-compare gate (they measure the machine, not the code's work
+    profile).
     """
     from repro.gateway import GatewayCoordinator, TenantWorld, demo_tenants
     from repro.geometry import Point, Rect
@@ -400,11 +408,11 @@ def _bench_gateway_throughput(profile: str, seed: int) -> WorkloadResult:
             build_symbolic=False,
         )
         batches[spec.tenant_id] = list(LiveSimSource(sim, seconds).batches())
+    bounds = {spec.tenant_id: TenantWorld(spec).plan.bounds for spec in specs}
 
-    obs.enable(fresh=True)
-    answers: List[Tuple[str, str, str, float]] = []
-    latencies: List[float] = []
-    try:
+    def serve() -> Tuple[float, float, List[Tuple[str, str, str, float]], List[float]]:
+        answers: List[Tuple[str, str, str, float]] = []
+        latencies: List[float] = []
         coordinator = GatewayCoordinator(
             specs, num_partitions=partitions, transport="inline"
         )
@@ -419,9 +427,6 @@ def _bench_gateway_throughput(profile: str, seed: int) -> WorkloadResult:
                     coordinator.collect_tick()
             ingest_elapsed = time.perf_counter() - start
 
-            bounds = {
-                spec.tenant_id: TenantWorld(spec).plan.bounds for spec in specs
-            }
             query_start = time.perf_counter()
             for index in range(queries):
                 spec = specs[index % len(specs)]
@@ -447,13 +452,29 @@ def _bench_gateway_throughput(profile: str, seed: int) -> WorkloadResult:
             query_elapsed = time.perf_counter() - query_start
         finally:
             coordinator.close()
+        return ingest_elapsed, query_elapsed, answers, latencies
+
+    # Pass 1 — telemetry off: the gated cost of the serving path itself.
+    obs.disable()
+    ingest_elapsed, query_elapsed, answers, latencies = serve()
+
+    # Pass 2 — telemetry on: work counters + the instrumented path's tax.
+    obs.enable(fresh=True)
+    try:
+        on_ingest, on_query, on_answers, _ = serve()
         work = _counter_work(("gateway.ticks", "gateway.subticks", "gateway.queries"))
     finally:
         obs.disable()
+    if on_answers != answers:
+        raise AssertionError(
+            "telemetry changed gateway answers: the obs switch must be inert"
+        )
     work["tenants"] = tenants
     work["partitions"] = partitions
     work["answers"] = len(answers)
     ordered = sorted(latencies)
+    off_elapsed = ingest_elapsed + query_elapsed
+    on_elapsed = on_ingest + on_query
     stats = {
         "ingest_seconds": round(ingest_elapsed, 6),
         "queries_per_second": round(queries / query_elapsed, 3),
@@ -461,10 +482,14 @@ def _bench_gateway_throughput(profile: str, seed: int) -> WorkloadResult:
         "p99_latency_ms": round(
             1000 * ordered[min(len(ordered) - 1, (99 * len(ordered)) // 100)], 6
         ),
+        "telemetry_queries_per_second": round(queries / on_query, 3),
+        "telemetry_overhead_ratio": round(
+            on_elapsed / off_elapsed if off_elapsed > 0 else 1.0, 4
+        ),
     }
     return WorkloadResult(
         name="gateway_throughput",
-        wall_seconds=ingest_elapsed + query_elapsed,
+        wall_seconds=off_elapsed,
         work=work,
         digest=_digest(answers),
         stats=stats,

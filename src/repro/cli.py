@@ -575,6 +575,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="bind address for --http-port (default: 127.0.0.1)",
     )
     gateway.add_argument(
+        "--trace", metavar="JSON",
+        help=(
+            "write the merged fleet trace at exit (coordinator plus "
+            "every worker: partition-labeled metrics, cross-process "
+            "spans; feed it to `repro stats --chrome-trace`); implies "
+            "observability"
+        ),
+    )
+    gateway.add_argument(
+        "--telemetry-interval", type=int, default=8, metavar="TICKS",
+        help=(
+            "poll worker registries every N collected ticks on the "
+            "process transport (0 = only on /metrics scrapes and at "
+            "exit; default: 8)"
+        ),
+    )
+    gateway.add_argument(
         "--linger", type=float, default=0.0, metavar="SECONDS",
         help="keep serving HTTP this long after the stream ends",
     )
@@ -1548,7 +1565,7 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
     if args.restore and not args.checkpoint_dir:
         raise SystemExit("repro: error: --restore needs --checkpoint-dir")
 
-    obs_session = args.http_port is not None
+    obs_session = args.http_port is not None or bool(args.trace)
     if obs_session and not obs.enabled():
         obs.enable()
 
@@ -1561,6 +1578,7 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
                 transport=args.transport,
                 queue_depth=args.queue_depth,
                 shed_policy=args.shed_policy,
+                telemetry_interval=args.telemetry_interval,
             )
         except GatewayCompatibilityError as exc:
             raise SystemExit(f"repro: error: {exc}") from None
@@ -1576,10 +1594,13 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
             transport=args.transport,
             queue_depth=args.queue_depth,
             shed_policy=args.shed_policy,
+            telemetry_interval=args.telemetry_interval,
         )
     server = None
     exit_code = 0
     try:
+        if obs.enabled():
+            coordinator.enable_alerts()
         if args.analytics:
             coordinator.enable_analytics()
         for spec in specs:
@@ -1656,6 +1677,21 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
                 summary = coordinator.analytics_summary(tenant_id)
                 line += f" analytics_epochs={summary['epochs']}"
             print(line)
+        if args.trace:
+            from repro.obs.report import write_json
+
+            coordinator.poll_telemetry()
+            document = coordinator.fleet_snapshot(
+                meta={
+                    "command": "gateway",
+                    "tenants": len(specs),
+                    "partitions": coordinator.num_partitions,
+                    "transport": coordinator.transport,
+                    "seconds": args.seconds,
+                }
+            )
+            write_json(document, args.trace)
+            print(f"fleet trace -> {args.trace}")
         if server is not None and args.linger > 0:
             _time.sleep(args.linger)
     finally:

@@ -274,6 +274,8 @@ def restore_coordinator(
     vnodes: Optional[int] = None,
     report_threshold: float = 0.05,
     min_change: float = 0.10,
+    observability: Optional[bool] = None,
+    telemetry_interval: int = 8,
 ) -> GatewayCoordinator:
     """Build a coordinator resuming exactly where a checkpoint stopped.
 
@@ -334,6 +336,8 @@ def restore_coordinator(
         vnodes=new_vnodes,
         report_threshold=report_threshold,
         min_change=min_change,
+        observability=observability,
+        telemetry_interval=telemetry_interval,
     )
     try:
         ring = coordinator.ring

@@ -30,6 +30,19 @@ surviving partitions, :meth:`health` reports ``degraded``, and queries
 keep answering from what survives. Shed sub-ticks (opt-in ``"shed"``
 queue policy) are handled the same way: the barrier is told not to wait
 for them.
+
+Fleet telemetry (all off unless observability is on): the coordinator
+stamps every fan-out with a ``tenant/second`` trace context that the
+workers echo into their tick spans, measures each partition's barrier
+wait, feeds a per-tick SLO record into an optional
+:class:`~repro.obs.alerts.AlertEngine` (straggler / shed-surge /
+barrier-stall / ESS-collapse rules), and — on the process transport —
+periodically pulls each worker's metric registry over the pipe
+(``telemetry`` op). :meth:`fleet_snapshot` merges those per-worker
+registries into one document with a ``partition`` label on every
+worker series and a per-process id on every span, which is what
+``/metrics`` scrapes and ``--trace`` exports. None of this touches any
+RNG, so telemetry on/off cannot change a query answer.
 """
 
 from __future__ import annotations
@@ -37,7 +50,7 @@ from __future__ import annotations
 import threading
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
 import repro.obs as obs
 from repro.analytics.engine import AnalyticsEngine
@@ -61,6 +74,22 @@ from repro.gateway.transport import (
     make_worker_handles,
 )
 from repro.gateway.worker import encode_readings
+
+
+#: Cap on worker spans retained for the merged trace (the tracer's own
+#: per-process cap bounds each poll; this bounds the accumulation).
+MAX_FLEET_SPANS = 100_000
+
+
+def _wall() -> float:
+    import time
+
+    return time.monotonic()
+
+
+def _trace_context(tenant_id: str, second: int) -> str:
+    """The trace id stamped on a tick's fan-out and echoed by workers."""
+    return f"{tenant_id}/{second}"
 
 
 class GatewayError(RuntimeError):
@@ -107,10 +136,19 @@ class GatewayCoordinator:
         vnodes: int = DEFAULT_VNODES,
         report_threshold: float = 0.05,
         min_change: float = 0.10,
+        observability: Optional[bool] = None,
+        telemetry_interval: int = 8,
     ) -> None:
         specs = validate_tenants(tenants)
         self.num_partitions = num_partitions
         self.transport = transport
+        # None means "follow the gateway process": workers inherit the
+        # obs switch the coordinator was built under, so `obs.enable()`
+        # before construction is all a caller needs for fleet telemetry.
+        self.observability = (
+            obs.enabled() if observability is None else bool(observability)
+        )
+        self.telemetry_interval = telemetry_interval
         self.ring = HashRing(num_partitions, vnodes)
         self.tenants: Dict[str, TenantSpec] = {
             spec.tenant_id: spec for spec in specs
@@ -134,13 +172,39 @@ class GatewayCoordinator:
                 snapshot=ServiceSnapshot(second=-1, table=AnchorObjectTable()),
             )
         self.handles = make_worker_handles(
-            specs, num_partitions, transport, queue_depth, shed_policy
+            specs,
+            num_partitions,
+            transport,
+            queue_depth,
+            shed_policy,
+            observability=self.observability,
         )
         # One reentrant lock guards serving state and the pending queue;
         # HTTP handler threads read under it while the ingest loop
         # publishes under it.
         self._lock = threading.RLock()
         self._pending: Deque[_PendingTick] = deque()
+        # Control round-trips (state/restore/telemetry) must not
+        # interleave: each consumes "the next non-snapshot reply" off
+        # its handle, so two concurrent callers could swap replies.
+        # Always acquired before self._lock, never after (LOCKORDER).
+        self._control_lock = threading.Lock()
+        # -- fleet-telemetry state (all guarded by the same lock) ------
+        self._collected_ticks = 0
+        #: partition -> (collect sequence number, second) of its last
+        #: contributed sub-snapshot; the health doc derives last-tick
+        #: age from the sequence gap, which stays meaningful even when
+        #: tenants tick at different rates.
+        self._partition_last: Dict[int, Tuple[int, int]] = {}
+        self._partition_sheds: Dict[int, int] = {}
+        self._sheds_since_record = 0
+        self._last_tick_wall: Optional[float] = None
+        self._worker_metrics: Dict[int, dict] = {}
+        self._worker_spans: List[dict] = []
+        self._worker_spans_dropped = 0
+        self._ess_prev: Tuple[int, float, int] = (0, 0.0, 0)
+        self._alerts: Optional[Any] = None
+        self._last_slo: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # write path
@@ -161,26 +225,32 @@ class GatewayCoordinator:
                 }
             )
         entry = _PendingTick(tenant_id=tenant_id, second=batch.second)
+        trace = _trace_context(tenant_id, batch.second)
         with self._lock:
             self._pending.append(entry)
-        for handle in self.handles:
-            if not handle.alive():  # type: ignore[attr-defined]
-                continue
-            message = {
-                "op": "tick",
-                "tenant": tenant_id,
-                "second": batch.second,
-                "readings": split[handle.index],  # type: ignore[attr-defined]
-            }
-            shed = handle.submit_tick(message)  # type: ignore[attr-defined]
-            own_shed = False
-            for shed_tenant, shed_second in shed:
-                if shed_tenant == tenant_id and shed_second == batch.second:
-                    own_shed = True
-                self._record_shed(shed_tenant, shed_second, handle.index)  # type: ignore[attr-defined]
-            if not own_shed:
-                with self._lock:
-                    entry.parts.append(handle.index)  # type: ignore[attr-defined]
+        with obs.span(
+            "gateway.fanout", trace=trace, tenant=tenant_id, second=batch.second
+        ):
+            for handle in self.handles:
+                if not handle.alive():  # type: ignore[attr-defined]
+                    continue
+                message = {
+                    "op": "tick",
+                    "tenant": tenant_id,
+                    "second": batch.second,
+                    "readings": split[handle.index],  # type: ignore[attr-defined]
+                }
+                if self.observability:
+                    message["trace"] = trace
+                shed = handle.submit_tick(message)  # type: ignore[attr-defined]
+                own_shed = False
+                for shed_tenant, shed_second in shed:
+                    if shed_tenant == tenant_id and shed_second == batch.second:
+                        own_shed = True
+                    self._record_shed(shed_tenant, shed_second, handle.index)  # type: ignore[attr-defined]
+                if not own_shed:
+                    with self._lock:
+                        entry.parts.append(handle.index)  # type: ignore[attr-defined]
         if obs.enabled():
             obs.add(
                 "gateway.readings",
@@ -203,10 +273,15 @@ class GatewayCoordinator:
             serving = self._serving.get(tenant_id)
             if serving is not None:
                 serving.shed_subticks += 1
+            self._partition_sheds[partition] = (
+                self._partition_sheds.get(partition, 0) + 1
+            )
+            self._sheds_since_record += 1
         obs.add(
             "gateway.shed_subticks",
             labels={"tenant": tenant_id, "partition": partition},
         )
+        obs.add("gateway.sheds", labels={"partition": partition})
 
     def collect_tick(
         self, timeout: Optional[float] = 30.0
@@ -221,10 +296,16 @@ class GatewayCoordinator:
             if not self._pending:
                 raise GatewayError("no outstanding tick to collect")
             entry = self._pending.popleft()
+        trace = _trace_context(entry.tenant_id, entry.second)
+        started = _wall()
         replies: Dict[int, dict] = {}
+        waits: Dict[int, float] = {}
         missing: List[int] = []
         for index in list(entry.parts):
-            reply = self.handles[index].next_snapshot(timeout=timeout)  # type: ignore[attr-defined]
+            wait_start = _wall()
+            with obs.span("gateway.barrier_wait", trace=trace, partition=index):
+                reply = self.handles[index].next_snapshot(timeout=timeout)  # type: ignore[attr-defined]
+            waits[index] = _wall() - wait_start
             if reply is None:
                 missing.append(index)
                 continue
@@ -267,6 +348,29 @@ class GatewayCoordinator:
             obs.gauge_set(
                 "gateway.tracked_objects", len(merged.objects()), labels=labels
             )
+            for index, wait in waits.items():
+                obs.observe(
+                    "gateway.barrier_wait_seconds",
+                    wait,
+                    labels={"partition": index},
+                )
+        wall = _wall() - started
+        with self._lock:
+            self._collected_ticks += 1
+            sequence = self._collected_ticks
+            for index in replies:
+                self._partition_last[index] = (sequence, entry.second)
+            self._last_tick_wall = wall
+            sheds = self._sheds_since_record
+            self._sheds_since_record = 0
+        self._observe_slo(entry, replies, waits, missing, sheds, wall, sequence)
+        if (
+            self.observability
+            and self.transport == "process"
+            and self.telemetry_interval > 0
+            and sequence % self.telemetry_interval == 0
+        ):
+            self.poll_telemetry(timeout=timeout)
         return entry.tenant_id, entry.second, deltas
 
     def process_batch(
@@ -390,21 +494,273 @@ class GatewayCoordinator:
             return serving.analytics.summary()
 
     # ------------------------------------------------------------------
+    # fleet telemetry
+    # ------------------------------------------------------------------
+    def _observe_slo(
+        self,
+        entry: _PendingTick,
+        replies: Dict[int, dict],
+        waits: Dict[int, float],
+        missing: List[int],
+        sheds: int,
+        wall: float,
+        sequence: int,
+    ) -> None:
+        """Distill one collected tick into an SLO record; feed alerts.
+
+        Counts (sheds, missing partitions, ESS collapses) are
+        deterministic; the barrier-wait fields are wall-clock-valued and
+        only ever feed alerting, never query evaluation.
+        """
+        worker_obs = [
+            reply["obs"]
+            for reply in replies.values()
+            if isinstance(reply.get("obs"), dict)
+        ]
+        collapses: Optional[int] = None
+        ess_means: List[float] = []
+        if worker_obs:
+            collapses = sum(
+                int(record.get("ess_collapses") or 0) for record in worker_obs
+            )
+            ess_means = [
+                float(record["ess_mean"])
+                for record in worker_obs
+                if isinstance(record.get("ess_mean"), (int, float))
+            ]
+        elif obs.enabled():
+            # Inline cores write into the gateway's own registry, so
+            # the per-tick delta is read off directly.
+            collapses, mean = self._ess_delta()
+            if mean is not None:
+                ess_means = [mean]
+        # A partition is missing whether it died mid-barrier (in
+        # ``missing``) or was already dead at submit and never entered
+        # the tick at all — the alert must keep firing either way.
+        dead = sum(
+            1
+            for handle in self.handles
+            if not handle.alive()  # type: ignore[attr-defined]
+        )
+        gateway: Dict[str, object] = {
+            "tenant": entry.tenant_id,
+            "partitions": len(replies),
+            "missing_partitions": max(len(missing), dead),
+            "sheds": sheds,
+            "barrier_wait_max": max(waits.values()) if waits else 0.0,
+            "barrier_wait_total": sum(waits.values()) if waits else 0.0,
+        }
+        if len(waits) > 1:
+            mean_wait = sum(waits.values()) / len(waits)
+            if mean_wait > 0.0:
+                gateway["straggler_ratio"] = max(waits.values()) / mean_wait
+        if collapses is not None:
+            gateway["worker_ess_collapses"] = collapses
+        if ess_means:
+            gateway["worker_ess_mean"] = sum(ess_means) / len(ess_means)
+        record: Dict[str, object] = {
+            "tick": sequence,
+            "second": entry.second,
+            "wall_seconds": wall,
+            "gateway": gateway,
+        }
+        with self._lock:
+            self._last_slo = record
+            engine = self._alerts
+        if engine is not None:
+            engine.observe_epoch(record)
+
+    def _ess_delta(self) -> Tuple[int, Optional[float]]:
+        """ESS statistics accrued in this process since the last call."""
+        registry = obs.registry()
+        count = 0
+        total = 0.0
+        for series in registry.series_of("filter.ess"):
+            if series.get("type") == "histogram":
+                count += int(series.get("count", 0))  # type: ignore[arg-type]
+                total += float(series.get("total", 0.0))  # type: ignore[arg-type]
+        collapses = registry.counter_total("filter.ess_collapses")
+        prev_count, prev_total, prev_collapses = self._ess_prev
+        self._ess_prev = (count, total, collapses)
+        delta_count = count - prev_count
+        delta_total = total - prev_total
+        mean = delta_total / delta_count if delta_count > 0 else None
+        return collapses - prev_collapses, mean
+
+    def last_slo(self) -> Optional[dict]:
+        """The most recent per-tick SLO record (None before any tick)."""
+        with self._lock:
+            return self._last_slo
+
+    def enable_alerts(
+        self,
+        rules: Optional[Sequence[object]] = None,
+        writer: Optional[object] = None,
+    ) -> None:
+        """Attach an alert engine fed by every collected tick's record."""
+        from repro.obs.alerts import AlertEngine, gateway_rules
+
+        with self._lock:
+            if self._alerts is None:
+                selected = (
+                    gateway_rules() if rules is None else list(rules)
+                )
+                self._alerts = AlertEngine(rules=selected, writer=writer)  # type: ignore[arg-type]
+
+    def alerts_summary(self) -> Dict[str, object]:
+        """The ``/alerts`` document (marked disabled when no engine)."""
+        with self._lock:
+            engine = self._alerts
+        if engine is None:
+            return {
+                "format": "repro-alert-events",
+                "version": 1,
+                "enabled": False,
+                "active_count": 0,
+                "rules": [],
+            }
+        document: Dict[str, object] = engine.summary()
+        document["enabled"] = True
+        return document
+
+    def poll_telemetry(self, timeout: Optional[float] = 30.0) -> List[int]:
+        """Pull each live worker's registry snapshot and fresh spans.
+
+        Process transport only (inline cores share this process's
+        registry — federating it would double-count). The poll rides
+        the same FIFO pipe as ticks, so it never reorders ahead of
+        queued work; a dead or timed-out worker is simply skipped and
+        its last cached snapshot keeps serving.
+        """
+        if self.transport != "process":
+            return []
+        polled: List[int] = []
+        with self._control_lock:
+            for handle in self.handles:
+                if not handle.alive():  # type: ignore[attr-defined]
+                    continue
+                try:
+                    reply = handle.call({"op": "telemetry"}, timeout=timeout)  # type: ignore[attr-defined]
+                except GatewayWorkerError:
+                    continue
+                if not reply.get("enabled"):
+                    continue
+                index = int(reply["partition"])
+                spans = reply.get("spans") or []
+                with self._lock:
+                    self._worker_metrics[index] = dict(
+                        reply.get("metrics") or {}
+                    )
+                    for span in spans:
+                        record = dict(span)
+                        record["process"] = index + 1
+                        self._worker_spans.append(record)
+                    overflow = len(self._worker_spans) - MAX_FLEET_SPANS
+                    if overflow > 0:
+                        del self._worker_spans[:overflow]
+                        self._worker_spans_dropped += overflow
+                polled.append(index)
+        return polled
+
+    def fleet_snapshot(
+        self, meta: Optional[Dict[str, object]] = None
+    ) -> Dict[str, object]:
+        """One merged ``repro-trace`` document for the whole deployment.
+
+        Coordinator metrics and spans come from this process's
+        registry; every cached worker registry is folded in with a
+        ``partition`` label added to each series, and every span gets a
+        process id (0 = the gateway, ``partition + 1`` = that worker)
+        plus a ``trace.processes`` name map the Chrome exporter turns
+        into process rows. Inline transports share the gateway
+        registry, so the base snapshot already holds everything and
+        nothing is folded in.
+        """
+        fleet_meta: Dict[str, object] = {
+            "gateway_partitions": self.num_partitions,
+            "gateway_transport": self.transport,
+        }
+        if meta:
+            fleet_meta.update(meta)
+        document = obs.snapshot(meta=fleet_meta)
+        metrics = document.get("metrics")
+        trace = document.get("trace")
+        assert isinstance(metrics, dict) and isinstance(trace, dict)
+        with self._lock:
+            worker_metrics = dict(sorted(self._worker_metrics.items()))
+            worker_spans = [dict(span) for span in self._worker_spans]
+            spans_dropped = self._worker_spans_dropped
+        spans = trace.setdefault("spans", [])
+        assert isinstance(spans, list)
+        for span in spans:
+            span.setdefault("process", 0)
+        processes: Dict[str, str] = {"0": "gateway"}
+        for index, snapshot in worker_metrics.items():
+            processes[str(index + 1)] = f"partition-{index}"
+            for kind in ("counters", "gauges", "histograms"):
+                items = snapshot.get(kind) or []
+                target = metrics.setdefault(kind, [])
+                for item in items:
+                    merged = dict(item)
+                    labels = dict(merged.get("labels") or {})
+                    labels["partition"] = str(index)
+                    merged["labels"] = labels
+                    target.append(merged)
+        for span in worker_spans:
+            processes.setdefault(
+                str(span.get("process")), f"partition-{int(span['process']) - 1}"
+            )
+        spans.extend(worker_spans)
+        spans.sort(key=lambda span: float(span.get("start") or 0.0))
+        trace["processes"] = processes
+        trace["dropped"] = int(trace.get("dropped") or 0) + spans_dropped
+        for kind in ("counters", "gauges", "histograms"):
+            series = metrics.get(kind)
+            if isinstance(series, list):
+                series.sort(
+                    key=lambda item: (
+                        str(item.get("name")),
+                        sorted((item.get("labels") or {}).items()),
+                    )
+                )
+        return document
+
+    # ------------------------------------------------------------------
     # health / checkpoint support
     # ------------------------------------------------------------------
     def health(self) -> Dict[str, object]:
-        """The deployment health document (the ``/healthz`` body)."""
+        """The deployment health document (the ``/healthz`` body).
+
+        Per-partition detail: ``queue_depth`` (messages queued toward
+        the worker right now), cumulative ``sheds``, the ``last_second``
+        it contributed a sub-snapshot for, and ``last_tick_age`` — how
+        many collected ticks ago that was (0 = contributed to the most
+        recent tick; ``null`` = never heard from).
+        """
         workers = []
         dead = 0
+        with self._lock:
+            collected = self._collected_ticks
+            partition_last = dict(self._partition_last)
+            partition_sheds = dict(self._partition_sheds)
+            last_tick_wall = self._last_tick_wall
         for handle in self.handles:
             alive = handle.alive()  # type: ignore[attr-defined]
             if not alive:
                 dead += 1
+            index = handle.index  # type: ignore[attr-defined]
+            last = partition_last.get(index)
             workers.append(
                 {
-                    "partition": handle.index,  # type: ignore[attr-defined]
+                    "partition": index,
                     "alive": alive,
                     "transport": handle.transport,  # type: ignore[attr-defined]
+                    "queue_depth": handle.pending_depth(),  # type: ignore[attr-defined]
+                    "sheds": partition_sheds.get(index, 0),
+                    "last_second": None if last is None else last[1],
+                    "last_tick_age": (
+                        None if last is None else collected - last[0]
+                    ),
                 }
             )
         with self._lock:
@@ -421,11 +777,16 @@ class GatewayCoordinator:
             }
             pending = len(self._pending)
         degraded = dead > 0 or any(t["partial_ticks"] for t in tenants.values())
+        seconds = [t["last_second"] for t in tenants.values()]
+        known = [s for s in seconds if isinstance(s, int)]
         return {
             "status": "degraded" if degraded else "ok",
             "partitions": self.num_partitions,
             "dead_partitions": dead,
             "pending_ticks": pending,
+            "ticks": collected,
+            "last_second": max(known) if known else None,
+            "last_tick_seconds": last_tick_wall,
             "workers": workers,
             "tenants": tenants,
         }
@@ -449,13 +810,14 @@ class GatewayCoordinator:
                     "collect all outstanding ticks before checkpointing"
                 )
         states: Dict[int, Dict[str, dict]] = {}
-        for handle in self.handles:
-            if not handle.alive():  # type: ignore[attr-defined]
-                raise GatewayError(
-                    f"cannot checkpoint: partition {handle.index} is dead"  # type: ignore[attr-defined]
-                )
-            reply = handle.call({"op": "state"}, timeout=60.0)  # type: ignore[attr-defined]
-            states[handle.index] = reply["tenants"]  # type: ignore[attr-defined]
+        with self._control_lock:
+            for handle in self.handles:
+                if not handle.alive():  # type: ignore[attr-defined]
+                    raise GatewayError(
+                        f"cannot checkpoint: partition {handle.index} is dead"  # type: ignore[attr-defined]
+                    )
+                reply = handle.call({"op": "state"}, timeout=60.0)  # type: ignore[attr-defined]
+                states[handle.index] = reply["tenants"]  # type: ignore[attr-defined]
         return states
 
     def state_dict(self) -> dict:
@@ -502,16 +864,17 @@ class GatewayCoordinator:
 
     def restore_partitions(self, slices: Dict[int, Dict[str, dict]]) -> None:
         """Push checkpoint slices into the workers (one call each)."""
-        for handle in self.handles:
-            payload = slices.get(handle.index)  # type: ignore[attr-defined]
-            if payload is None:
-                continue
-            try:
-                handle.call({"op": "restore", "tenants": payload}, timeout=60.0)  # type: ignore[attr-defined]
-            except GatewayWorkerError as exc:
-                raise GatewayError(
-                    f"restore failed on partition {handle.index}: {exc}"  # type: ignore[attr-defined]
-                ) from exc
+        with self._control_lock:
+            for handle in self.handles:
+                payload = slices.get(handle.index)  # type: ignore[attr-defined]
+                if payload is None:
+                    continue
+                try:
+                    handle.call({"op": "restore", "tenants": payload}, timeout=60.0)  # type: ignore[attr-defined]
+                except GatewayWorkerError as exc:
+                    raise GatewayError(
+                        f"restore failed on partition {handle.index}: {exc}"  # type: ignore[attr-defined]
+                    ) from exc
 
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -13,7 +13,16 @@ route                       meaning
                             body still carries the full document, and
                             queries keep answering
 ``GET /readyz``             200 once every tenant has published a tick
-``GET /metrics``            Prometheus text (the shared obs registry)
+``GET /metrics``            Prometheus text of the **fleet** snapshot:
+                            coordinator series plus every worker's
+                            registry with a ``partition`` label (the
+                            coordinator re-polls worker telemetry on
+                            each scrape)
+``GET /snapshot``           the merged ``repro-trace`` document (what
+                            ``repro top --url`` diffs; 404 when
+                            observability is off)
+``GET /alerts``             the gateway alert engine's summary (marked
+                            ``enabled: false`` when no engine)
 ``GET /tenants``            tenant directory with tick counters
 ``GET /query/range``        ``?tenant=&min_x=&min_y=&max_x=&max_y=``
 ``GET /query/knn``          ``?tenant=&x=&y=&k=``
@@ -26,6 +35,10 @@ route                       meaning
 
 Handlers only read coordinator state (under its lock) — the ingest
 loop never blocks on HTTP traffic longer than one lock hold.
+
+When observability is on, every request is timed into the
+``gateway.http_latency{endpoint}`` histogram family (the per-endpoint
+SLO signal) and counted in ``gateway.http_requests{endpoint}``.
 """
 
 from __future__ import annotations
@@ -36,6 +49,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple, Type
 from urllib.parse import parse_qs, urlparse
 
+import repro.obs as obs
 from repro.geometry import Point, Rect
 
 from repro.gateway.coordinator import GatewayCoordinator, GatewayError
@@ -91,7 +105,17 @@ def _make_handler(
                 raise KeyError(tenant_id)
             return tenant_id
 
-        def _dispatch(self, handler: str) -> None:
+        def _dispatch(self, handler: str, route: str) -> None:
+            if obs.enabled():
+                obs.add("gateway.http_requests", labels={"endpoint": route})
+                with obs.timer(
+                    "gateway.http_latency", labels={"endpoint": route}
+                ):
+                    self._dispatch_inner(handler)
+            else:
+                self._dispatch_inner(handler)
+
+        def _dispatch_inner(self, handler: str) -> None:
             try:
                 getattr(self, handler)()
             except _BadRequest as exc:
@@ -115,6 +139,8 @@ def _make_handler(
                 "/healthz": "_get_healthz",
                 "/readyz": "_get_readyz",
                 "/metrics": "_get_metrics",
+                "/snapshot": "_get_snapshot",
+                "/alerts": "_get_alerts",
                 "/tenants": "_get_tenants",
                 "/query/range": "_get_range",
                 "/query/knn": "_get_knn",
@@ -125,21 +151,21 @@ def _make_handler(
             if handler is None:
                 self._send_json(404, {"error": f"no route {route!r}"})
                 return
-            self._dispatch(handler)
+            self._dispatch(handler, route)
 
         def do_POST(self) -> None:  # noqa: N802 - http.server API
             route = urlparse(self.path).path
             if route != "/sessions":
                 self._send_json(404, {"error": f"no route {route!r}"})
                 return
-            self._dispatch("_post_sessions")
+            self._dispatch("_post_sessions", route)
 
         def do_DELETE(self) -> None:  # noqa: N802 - http.server API
             route = urlparse(self.path).path
             if route != "/sessions":
                 self._send_json(404, {"error": f"no route {route!r}"})
                 return
-            self._dispatch("_delete_sessions")
+            self._dispatch("_delete_sessions", route)
 
         def _get_root(self) -> None:
             self._send_json(
@@ -150,6 +176,8 @@ def _make_handler(
                         "/healthz",
                         "/readyz",
                         "/metrics",
+                        "/snapshot",
+                        "/alerts",
                         "/tenants",
                         "/query/range",
                         "/query/knn",
@@ -171,13 +199,25 @@ def _make_handler(
                 self._send_json(503, {"ready": False})
 
         def _get_metrics(self) -> None:
-            import repro.obs as obs
             from repro.obs.expo import render_prometheus
 
             if not obs.enabled():
                 self._send_text(200, "# observability disabled\n")
                 return
-            self._send_text(200, render_prometheus(obs.snapshot()))
+            coordinator.poll_telemetry(timeout=5.0)
+            self._send_text(
+                200, render_prometheus(coordinator.fleet_snapshot())
+            )
+
+        def _get_snapshot(self) -> None:
+            if not obs.enabled():
+                self._send_json(404, {"error": "observability disabled"})
+                return
+            coordinator.poll_telemetry(timeout=5.0)
+            self._send_json(200, coordinator.fleet_snapshot())
+
+        def _get_alerts(self) -> None:
+            self._send_json(200, coordinator.alerts_summary())
 
         def _get_tenants(self) -> None:
             health = coordinator.health()

@@ -93,12 +93,12 @@ class TenantWorld:
     and the gateway independently reconstruct identical worlds.
     """
 
-    def __init__(self, spec: TenantSpec) -> None:
+    def __init__(self, spec: TenantSpec, observability: bool = False) -> None:
         self.spec = spec
         self.config: SimulationConfig = DEFAULT_CONFIG.with_overrides(
             seed=spec.seed,
             num_objects=spec.num_objects,
-            observability=False,
+            observability=observability,
         )
         self.plan: FloorPlan = PLAN_PRESETS[spec.plan]()
         self.readers: List[RFIDReader] = deploy_readers_uniform(

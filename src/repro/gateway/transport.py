@@ -56,14 +56,23 @@ class InlineWorkerHandle:
         specs: Sequence[TenantSpec],
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
         shed_policy: str = "block",
+        observability: bool = False,
     ) -> None:
         self.index = index
-        self._core = PartitionWorkerCore(index, specs)
+        # Inline cores share the gateway's process registry, so the
+        # core must not claim private-registry attribution.
+        self._core = PartitionWorkerCore(
+            index, specs, observability=observability, private_registry=False
+        )
         self._replies: Deque[dict] = deque()
         self._dead = False
 
     def start_io(self) -> None:
         """No IO threads to start inline."""
+
+    def pending_depth(self) -> int:
+        """Inline ticks run synchronously; nothing ever queues."""
+        return 0
 
     def submit_tick(self, message: dict) -> List[ShedTick]:
         if self._dead:
@@ -116,6 +125,7 @@ class ProcessWorkerHandle:
         specs: Sequence[TenantSpec],
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
         shed_policy: str = "block",
+        observability: bool = False,
     ) -> None:
         if queue_depth < 1:
             raise ValueError("queue_depth must be >= 1")
@@ -138,7 +148,12 @@ class ProcessWorkerHandle:
         parent_conn, child_conn = context.Pipe()
         self._process = context.Process(
             target=worker_main,
-            args=(child_conn, index, [spec.to_dict() for spec in specs]),
+            args=(
+                child_conn,
+                index,
+                [spec.to_dict() for spec in specs],
+                bool(observability),
+            ),
             name=f"repro-gateway-worker-{index}",
             daemon=True,
         )
@@ -207,6 +222,11 @@ class ProcessWorkerHandle:
             self._recv_cv.notify_all()
 
     # -- gateway-facing surface ----------------------------------------
+    def pending_depth(self) -> int:
+        """How many messages are queued toward the child right now."""
+        with self._send_cv:
+            return len(self._pending)
+
     def submit_tick(self, message: dict) -> List[ShedTick]:
         shed: List[ShedTick] = []
         with self._send_cv:
@@ -324,11 +344,14 @@ def make_worker_handles(
     transport: str = "process",
     queue_depth: int = DEFAULT_QUEUE_DEPTH,
     shed_policy: str = "block",
+    observability: bool = False,
 ) -> List[object]:
     """Build all partitions' handles (fork first, start IO threads after)."""
     if transport == "inline":
         return [
-            InlineWorkerHandle(index, specs, queue_depth, shed_policy)
+            InlineWorkerHandle(
+                index, specs, queue_depth, shed_policy, observability
+            )
             for index in range(num_partitions)
         ]
     if transport != "process":
@@ -336,7 +359,9 @@ def make_worker_handles(
             f"transport must be 'inline' or 'process', got {transport!r}"
         )
     handles = [
-        ProcessWorkerHandle(index, specs, queue_depth, shed_policy)
+        ProcessWorkerHandle(
+            index, specs, queue_depth, shed_policy, observability
+        )
         for index in range(num_partitions)
     ]
     for handle in handles:

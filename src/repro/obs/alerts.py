@@ -163,6 +163,79 @@ def builtin_rules() -> List[AlertRule]:
     ]
 
 
+def gateway_rules() -> List[AlertRule]:
+    """SLO detectors over the gateway coordinator's per-tick records.
+
+    The coordinator feeds one record per collected tick (see
+    ``GatewayCoordinator._observe_slo``) with a ``gateway.*`` sub-tree:
+    barrier-wait statistics, dead/shed bookkeeping, and the worker-side
+    accuracy deltas piggybacked on tick replies.
+    """
+    return [
+        AlertRule(
+            name="partition_straggler",
+            field="gateway.straggler_ratio",
+            kind="above",
+            threshold=4.0,
+            min_samples=3,
+            severity="warning",
+            description=(
+                "one partition's barrier wait dominates the tick: its "
+                "worker is at least 4x slower than the fleet mean"
+            ),
+        ),
+        AlertRule(
+            name="shed_surge",
+            field="gateway.sheds",
+            kind="above",
+            threshold=0.0,
+            min_samples=1,
+            severity="warning",
+            description=(
+                "sub-ticks were load-shed since the previous tick: a "
+                "partition queue overflowed under the shed policy"
+            ),
+        ),
+        AlertRule(
+            name="barrier_stall",
+            field="gateway.barrier_wait_max",
+            kind="ewma_rise",
+            factor=3.0,
+            alpha=0.2,
+            min_samples=5,
+            severity="warning",
+            description=(
+                "the slowest partition's barrier wait tripled against "
+                "its baseline: fan-in is stalling on a worker"
+            ),
+        ),
+        AlertRule(
+            name="partition_dead",
+            field="gateway.missing_partitions",
+            kind="above",
+            threshold=0.0,
+            min_samples=1,
+            severity="critical",
+            description=(
+                "a partition contributed no sub-snapshot to this tick: "
+                "its worker is dead and the merge is partial"
+            ),
+        ),
+        AlertRule(
+            name="worker_ess_collapse",
+            field="gateway.worker_ess_collapses",
+            kind="above",
+            threshold=0.0,
+            min_samples=1,
+            severity="critical",
+            description=(
+                "a worker reported effective-sample-size collapses this "
+                "tick: some partition's particle clouds degenerated"
+            ),
+        ),
+    ]
+
+
 def _resolve(record: Mapping[str, object], path: str) -> Optional[float]:
     node: object = record
     for part in path.split("."):

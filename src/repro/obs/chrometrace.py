@@ -11,10 +11,19 @@ Mapping:
   in microseconds;
 * the tracer's normalized thread id → ``tid`` (one track per worker
   thread, so shard-pool spans render side by side instead of stacked);
+* a span's optional ``process`` id → ``pid`` (multi-process snapshots —
+  the gateway's federated fleet trace — render one process row per
+  worker; the default pid 0 keeps single-process traces unchanged),
+  named from the trace's optional ``processes`` map;
 * span attrs plus the span index/parent → ``args`` (Perfetto shows them
   in the selection panel);
 * snapshot ``meta`` → process metadata events, so the run's command,
   seed, and backend are visible in the UI.
+
+Cross-process timestamp alignment: span clocks are per-process
+``time.perf_counter`` readings, which on Linux share one monotonic
+epoch machine-wide, so fan-out and worker spans of the same tick line
+up without translation.
 
 Span timestamps come from a monotonic clock with an arbitrary epoch;
 viewers only care about relative placement, so no normalization is done
@@ -32,13 +41,20 @@ CATEGORY = "repro"
 
 def chrome_trace_events(snapshot: Mapping[str, object]) -> List[Dict[str, object]]:
     """The snapshot's spans as a list of Chrome trace-event dicts."""
+    trace_block = snapshot.get("trace")
+    process_names = (
+        trace_block.get("processes") if isinstance(trace_block, dict) else None
+    )
+    pid0_name = "repro"
+    if isinstance(process_names, dict) and "0" in process_names:
+        pid0_name = str(process_names["0"])
     events: List[Dict[str, object]] = [
         {
             "name": "process_name",
             "ph": "M",
             "pid": 0,
             "tid": 0,
-            "args": {"name": "repro"},
+            "args": {"name": pid0_name},
         }
     ]
     meta = snapshot.get("meta")
@@ -61,6 +77,21 @@ def chrome_trace_events(snapshot: Mapping[str, object]) -> List[Dict[str, object
     spans = trace.get("spans", []) if isinstance(trace, dict) else []
     if not isinstance(spans, list):
         spans = []
+    processes = trace.get("processes") if isinstance(trace, dict) else None
+    if isinstance(processes, dict):
+        for pid_key in sorted(processes, key=lambda key: int(key)):
+            pid = int(pid_key)
+            if pid == 0:
+                continue  # pid 0's row is the header event above
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": str(processes[pid_key])},
+                }
+            )
     for span in spans:
         if not isinstance(span, dict):
             continue
@@ -83,7 +114,7 @@ def chrome_trace_events(snapshot: Mapping[str, object]) -> List[Dict[str, object
                 "ph": "X",
                 "ts": float(start) * 1e6,
                 "dur": float(duration) * 1e6,
-                "pid": 0,
+                "pid": int(span.get("process") or 0),
                 "tid": int(span.get("thread") or 0),
                 "args": args,
             }

@@ -155,6 +155,43 @@ def _analytics_lines(analytics: Mapping[str, object]) -> List[str]:
     return lines
 
 
+def _gateway_lines(health: Mapping[str, object]) -> List[str]:
+    """The per-partition panel for a gateway health document."""
+    workers = health.get("workers")
+    if not isinstance(workers, list) or not workers:
+        return []
+    lines = [
+        f"gateway  partitions={_fmt(health.get('partitions'))}   "
+        f"dead={_fmt(health.get('dead_partitions'))}   "
+        f"pending={_fmt(health.get('pending_ticks'))}"
+    ]
+    for worker in workers:
+        if not isinstance(worker, Mapping):
+            continue
+        state = "alive" if worker.get("alive") else "DEAD"
+        lines.append(
+            f"  p{_fmt(worker.get('partition'))}  {state:<5} "
+            f"queue={_fmt(worker.get('queue_depth'))} "
+            f"sheds={_fmt(worker.get('sheds'))} "
+            f"second={_fmt(worker.get('last_second'))} "
+            f"age={_fmt(worker.get('last_tick_age'))}"
+        )
+    tenants = health.get("tenants")
+    if isinstance(tenants, Mapping) and tenants:
+        rendered = "  ".join(
+            f"{tenant_id}:{_fmt(record.get('ticks'))}t"
+            + (
+                f"/{_fmt(record.get('partial_ticks'))}p"
+                if isinstance(record, Mapping) and record.get("partial_ticks")
+                else ""
+            )
+            for tenant_id, record in sorted(tenants.items())
+            if isinstance(record, Mapping)
+        )
+        lines.append(f"  tenants  {rendered}")
+    return lines
+
+
 def render_top(state: TopState, width: int = 80) -> str:
     """Render one dashboard frame (no ANSI, pure text)."""
     health = state.health
@@ -173,6 +210,10 @@ def render_top(state: TopState, width: int = 80) -> str:
         f"queries={_fmt(health.get('standing_queries'))}   "
         f"checkpoints={_fmt(health.get('checkpoints_written'))}"
     )
+    gateway = _gateway_lines(health)
+    if gateway:
+        lines.append(rule)
+        lines.extend(gateway)
     lines.append(rule)
 
     walls = state.wall_series()
